@@ -1,0 +1,28 @@
+"""Ablation (Section 3.4): static vs dynamic vs hybrid multithreading.
+
+Static partitioning of the first join attribute suffers from load imbalance
+(Figure 8's example); dynamic on-match splitting balances the load; TrieJax
+combines both.  The benchmark runs all three schemes at 32 threads and checks
+that the dynamic/hybrid schemes are never meaningfully worse than static, and
+that hybrid matches the best of the two on average.
+"""
+
+from repro.eval import ablation_mt_scheme, geometric_mean
+
+
+def test_ablation_mt_scheme(benchmark, run_once, small_context):
+    result = run_once(ablation_mt_scheme, small_context, datasets=("bitcoin", "grqc"))
+    print()
+    print(result.to_text())
+
+    static_over_hybrid = []
+    dynamic_over_hybrid = []
+    for query, dataset, static, dynamic, hybrid, ratio in result.rows:
+        static_over_hybrid.append(static / hybrid)
+        dynamic_over_hybrid.append(dynamic / hybrid)
+        benchmark.extra_info[f"{query}_{dataset}_static_over_hybrid"] = round(ratio, 3)
+
+    # Hybrid is competitive with both pure schemes on average (within ~20%),
+    # i.e. neither pure scheme beats it by much more than scheduling noise.
+    assert geometric_mean(static_over_hybrid) > 0.8
+    assert geometric_mean(dynamic_over_hybrid) > 0.8

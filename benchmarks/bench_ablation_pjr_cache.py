@@ -1,0 +1,33 @@
+"""Ablation (Sections 3.5, 4.4): effect of the partial-join-result cache.
+
+The PJR cache eliminates recurring partial-join computation for queries with
+a cacheable variable (path3, path4, cycle4) and is provably useless for
+cycle3 and clique4 (no valid cache structure).  The benchmark disables the
+cache and measures the slowdown per query, checking both halves of that
+claim.
+"""
+
+from repro.eval import ablation_pjr_cache
+
+
+def test_ablation_pjr_cache(benchmark, run_once, small_context):
+    result = run_once(ablation_pjr_cache, small_context, datasets=("bitcoin", "grqc"))
+    print()
+    print(result.to_text())
+
+    by_query = {}
+    for query, dataset, _on, _off, benefit, hit_rate in result.rows:
+        by_query.setdefault(query, []).append((benefit, hit_rate))
+        benchmark.extra_info[f"{query}_{dataset}_benefit"] = round(benefit, 3)
+
+    for query, samples in by_query.items():
+        for benefit, hit_rate in samples:
+            if query in ("cycle3",):
+                # No cacheable variable: disabling the cache changes nothing.
+                assert hit_rate == 0.0
+                assert abs(benefit - 1.0) < 0.05
+            if query in ("path3", "cycle4"):
+                # Cacheable queries actually use the cache...
+                assert hit_rate > 0.0
+                # ...and removing it never makes them faster.
+                assert benefit >= 0.999

@@ -1,0 +1,33 @@
+"""Figure 13: TrieJax speedup over Q100, Graphicionado, EmptyHeaded and CTJ.
+
+Regenerates the paper's main performance comparison: for every Table 1 query
+on every Table 2 dataset (at the benchmark scale) the TrieJax simulation is
+compared against the four baseline models, and the per-baseline averages are
+summarised the way the abstract phrases them (7-63x over the hardware
+accelerators, 9-20x over the WCOJ software systems).
+"""
+
+from repro.eval import figure13, summarise_ratios
+
+
+def test_figure13_speedup_over_baselines(benchmark, run_once, eval_context):
+    result = run_once(figure13, eval_context)
+    print()
+    print(result.to_text())
+
+    for system in eval_context.baseline_names():
+        ratios = result.column(f"{system}/TrieJax")
+        summary = summarise_ratios(ratios)
+        benchmark.extra_info[f"speedup_vs_{system}_mean"] = round(summary["mean"], 2)
+        benchmark.extra_info[f"speedup_vs_{system}_max"] = round(summary["max"], 2)
+
+    # Shape checks mirroring the paper's headline claims: TrieJax wins on
+    # average against every baseline, and the WCOJ software systems are the
+    # closest competitors.
+    ctj_mean = summarise_ratios(result.column("ctj/TrieJax"))["mean"]
+    emptyheaded_mean = summarise_ratios(result.column("emptyheaded/TrieJax"))["mean"]
+    q100_mean = summarise_ratios(result.column("q100/TrieJax"))["mean"]
+    assert ctj_mean > 1.0
+    assert emptyheaded_mean > 1.0
+    assert q100_mean > emptyheaded_mean
+    assert ctj_mean > emptyheaded_mean

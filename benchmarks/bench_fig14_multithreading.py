@@ -1,0 +1,33 @@
+"""Figure 14: speedup of TrieJax with different numbers of dynamic threads.
+
+The paper reports ~5.8x with 8 threads and ~10.8x with 32 threads over the
+single-threaded configuration, with little additional benefit at 64 threads.
+This benchmark re-simulates the accelerator at 1/4/8/16/32/64 threads on a
+representative workload subset and checks the same saturating shape.
+"""
+
+from repro.eval import figure14
+
+
+def test_figure14_thread_scaling(benchmark, run_once, small_context):
+    result = run_once(
+        figure14,
+        small_context,
+        thread_counts=(1, 4, 8, 16, 32, 64),
+        queries=("path3", "cycle4"),
+        datasets=("bitcoin", "grqc"),
+    )
+    print()
+    print(result.to_text())
+
+    speedups = {label: value for label, value in result.rows}
+    for label, value in speedups.items():
+        benchmark.extra_info[f"speedup_{label}"] = round(value, 2)
+
+    # Shape checks: monotone improvement up to 32 threads, saturation after.
+    assert speedups["1T"] == 1.0
+    assert speedups["8T"] > speedups["4T"] > speedups["1T"]
+    assert speedups["32T"] >= speedups["8T"]
+    assert speedups["8T"] > 2.0
+    saturation = speedups["64T"] / speedups["32T"]
+    assert saturation < 1.3

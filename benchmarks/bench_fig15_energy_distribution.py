@@ -1,0 +1,33 @@
+"""Figure 15: average energy-consumption distribution of TrieJax per query.
+
+The paper's headline observation is that the accelerator's energy is
+completely dominated by the memory system — DRAM accounts for 74-90% of the
+total across the five queries, the PJR cache peaks below 8% (cycle4), and the
+core logic is a sliver.  The benchmark regenerates the per-query distribution
+and checks those properties.
+"""
+
+from repro.eval import ENERGY_COMPONENTS, figure15
+
+
+def test_figure15_energy_distribution(benchmark, run_once, eval_context):
+    result = run_once(figure15, eval_context)
+    print()
+    print(result.to_text())
+
+    dram_index = list(result.headers).index("DRAM fraction")
+    pjr_index = list(result.headers).index("PJR cache fraction")
+    for row in result.rows:
+        query = row[0]
+        fractions = row[1:]
+        assert abs(sum(fractions) - 1.0) < 1e-6
+        benchmark.extra_info[f"dram_fraction_{query}"] = round(row[dram_index], 3)
+        # DRAM dominates for every query (paper: 74-90%).
+        assert row[dram_index] > 0.6
+        # The PJR cache never dominates; it is unused for cycle3/clique4.
+        assert row[pjr_index] < 0.15
+        if query in ("cycle3", "clique4"):
+            assert row[pjr_index] < 0.05
+
+    assert [row[0] for row in result.rows] == list(eval_context.queries)
+    assert len(ENERGY_COMPONENTS) == 6

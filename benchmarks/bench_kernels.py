@@ -1,0 +1,65 @@
+"""Micro-benchmarks of the library's computational kernels.
+
+Unlike the figure benchmarks (which time a whole experiment once), these use
+pytest-benchmark's normal calibration to measure the steady-state cost of the
+building blocks a downstream user pays for: trie construction, the software
+join engines, the vertex-programming baseline and one accelerator simulation.
+They are useful for tracking performance regressions of the library itself.
+"""
+
+import pytest
+
+from repro.core import TrieJaxAccelerator, TrieJaxConfig
+from repro.graphs import graph_database, load_dataset, pattern_query
+from repro.joins import CachedTrieJoin, GenericJoin, LeapfrogTrieJoin, PairwiseJoin
+from repro.relational import TrieIndex
+
+
+@pytest.fixture(scope="module")
+def kernel_database():
+    return graph_database(load_dataset("bitcoin", scale=0.01))
+
+
+def test_kernel_trie_construction(benchmark, kernel_database):
+    relation = kernel_database.relation("E")
+    trie = benchmark(lambda: TrieIndex(relation))
+    assert trie.num_tuples == relation.cardinality
+
+
+def test_kernel_lftj_cycle3(benchmark, kernel_database):
+    query = pattern_query("cycle3")
+    engine = LeapfrogTrieJoin()
+    result = benchmark(engine.run, query, kernel_database)
+    assert result.cardinality >= 0
+
+
+def test_kernel_ctj_cycle4(benchmark, kernel_database):
+    query = pattern_query("cycle4")
+    engine = CachedTrieJoin()
+    result = benchmark(engine.run, query, kernel_database)
+    assert result.stats.cache_lookups > 0
+
+
+def test_kernel_generic_join_cycle3(benchmark, kernel_database):
+    query = pattern_query("cycle3")
+    engine = GenericJoin()
+    result = benchmark(engine.run, query, kernel_database)
+    assert result.cardinality >= 0
+
+
+def test_kernel_pairwise_cycle3(benchmark, kernel_database):
+    query = pattern_query("cycle3")
+    engine = PairwiseJoin("hash")
+    result = benchmark(engine.run, query, kernel_database)
+    assert result.cardinality >= 0
+
+
+def test_kernel_accelerator_cycle3(benchmark, kernel_database):
+    query = pattern_query("cycle3")
+    accelerator = TrieJaxAccelerator(TrieJaxConfig())
+
+    def simulate():
+        return accelerator.run(query, kernel_database)
+
+    outcome = benchmark.pedantic(simulate, rounds=3, iterations=1)
+    assert outcome.report.total_cycles > 0

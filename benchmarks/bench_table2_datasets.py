@@ -1,0 +1,34 @@
+"""Table 2: dataset statistics.
+
+Regenerates the dataset table and checks that the synthetic stand-ins hit the
+scaled node/edge budgets exactly and preserve the category-level degree-skew
+relationships (social/collaboration graphs are hub-heavy, P2P graphs are
+flat), which is what the per-dataset variation in the figures rests on.
+"""
+
+from repro.eval import table2
+from repro.graphs import dataset_spec, load_dataset
+
+
+def test_table2_dataset_statistics(benchmark, run_once, eval_context):
+    result = run_once(table2, eval_context)
+    print()
+    print(result.to_text())
+
+    assert len(result.rows) == 6
+    for _snap, short, paper_nodes, paper_edges, _category, gen_nodes, gen_edges in result.rows:
+        spec = dataset_spec(short)
+        assert (spec.num_nodes, spec.num_edges) == (paper_nodes, paper_edges)
+        expected_nodes, expected_edges = spec.scaled_counts(eval_context.scale)
+        assert gen_edges == expected_edges
+        assert gen_nodes <= expected_nodes  # isolated vertices carry no edges
+        benchmark.extra_info[short] = (
+            f"{gen_nodes} nodes / {gen_edges} edges @ scale {eval_context.scale}"
+        )
+
+    wiki = load_dataset("wiki", scale=eval_context.scale)
+    gnu04 = load_dataset("gnu04", scale=eval_context.scale)
+    assert (
+        wiki.degree_statistics()["top10_edge_share"]
+        > gnu04.degree_statistics()["top10_edge_share"]
+    )

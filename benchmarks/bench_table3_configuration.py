@@ -1,0 +1,29 @@
+"""Table 3: experimental configuration of TrieJax and the software platform.
+
+Regenerates the configuration table and checks that the defaults of the
+accelerator model match the paper's published design point (clock, thread
+count, PJR capacity, cache sizes, DRAM channels, core area).
+"""
+
+from repro.core import TrieJaxConfig
+from repro.eval import table3
+
+
+def test_table3_configuration(benchmark, run_once, eval_context):
+    result = run_once(table3, eval_context)
+    print()
+    print(result.to_text())
+
+    text = result.to_text()
+    config = TrieJaxConfig()
+    assert "TrieJax core @ 2.38GHz" in text
+    assert "PRJ" not in text  # we spell it PJR (the paper's table has a typo)
+    assert "PJR 4MB SRAM" in text
+    assert "32 threads" in text
+    assert "L1D RO 32KB" in text
+    assert "5.31 mm2" in text
+    assert "Xeon E5-2630 v3" in text
+    benchmark.extra_info["frequency_ghz"] = config.frequency_ghz
+    benchmark.extra_info["num_threads"] = config.num_threads
+    benchmark.extra_info["pjr_mb"] = config.pjr_size_bytes // (1024 * 1024)
+    benchmark.extra_info["core_area_mm2"] = config.core_area_mm2

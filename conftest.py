@@ -1,0 +1,15 @@
+"""Repository-level pytest configuration.
+
+Ensures ``src/`` is importable even when the package has not been installed
+(e.g. a fresh checkout in an offline environment where ``pip install -e .``
+cannot build editable wheels).  When the package *is* installed this is a
+harmless no-op because the installed path takes precedence only if it comes
+first; either way the same source tree is imported.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

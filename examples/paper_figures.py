@@ -1,0 +1,54 @@
+"""Regenerate every table and figure of the paper in one go (small scale).
+
+This drives the same experiment registry the benchmark harness uses, but at a
+reduced sweep (three datasets, all five queries, 0.8% dataset scale) so the
+whole script finishes in a couple of minutes and prints the paper-style
+summary lines for each artifact.  For the full default-scale runs use the
+benchmarks::
+
+    pytest benchmarks/ --benchmark-only
+
+Run with::
+
+    python examples/paper_figures.py
+"""
+
+import time
+
+from repro.core import TrieJaxConfig
+from repro.eval import EXPERIMENT_REGISTRY, ExperimentContext
+
+
+def main() -> None:
+    context = ExperimentContext(
+        scale=0.008,
+        datasets=("bitcoin", "grqc", "gnu04"),
+        triejax_config=TrieJaxConfig(),
+    )
+    print(f"experiment context: {context.describe()}\n")
+
+    order = [
+        "table1",
+        "table2",
+        "table3",
+        "figure13",
+        "figure14",
+        "figure15",
+        "figure16",
+        "figure17",
+        "figure18",
+        "ablation_write_bypass",
+        "ablation_pjr_cache",
+        "ablation_mt_scheme",
+    ]
+    for name in order:
+        experiment = EXPERIMENT_REGISTRY[name]
+        started = time.time()
+        result = experiment(context)
+        elapsed = time.time() - started
+        print(result.to_text())
+        print(f"(regenerated in {elapsed:.1f}s)\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""Setuptools entry point.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` works in offline environments whose pip/setuptools
+combination cannot build PEP 660 editable wheels (no ``wheel`` package
+available).  In that situation pip falls back to the legacy
+``setup.py develop`` path, which this shim enables.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of the TrieJax architecture: WCOJ-based graph pattern "
+        "matching acceleration (ASPLOS 2020)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy>=1.20"],
+)

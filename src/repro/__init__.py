@@ -1,0 +1,41 @@
+"""repro — a reproduction of the TrieJax architecture (ASPLOS 2020).
+
+TrieJax is an on-die hardware accelerator for graph pattern matching built on
+worst-case optimal joins (Cached TrieJoin).  This package rebuilds the whole
+stack described in the paper in pure Python:
+
+``repro.relational``
+    Relations, trie indexes (EmptyHeaded flat layout), conjunctive queries,
+    datalog/SQL front ends and the database catalog.
+``repro.joins``
+    The join algorithms: LeapFrog TrieJoin, Cached TrieJoin, Generic Join,
+    traditional pairwise joins, the naive oracle and the CTJ query compiler.
+``repro.graphs``
+    Graph workloads: the Table 1 pattern queries, the Table 2 datasets
+    (synthetic stand-ins) and SNAP edge-list I/O.
+``repro.memory``
+    Cache, DRAM-timing and energy models (the Ramulator / DRAMPower / Cacti
+    substitutes).
+``repro.core``
+    The TrieJax accelerator model: Cupid, MatchMaker, Midwife, LUB, the
+    partial-join-result cache and the multithreaded scheduler.
+``repro.baselines``
+    The four comparison systems: CTJ, EmptyHeaded, Graphicionado and Q100.
+``repro.eval``
+    The experiment harness that regenerates every table and figure of the
+    paper's evaluation.
+
+Quick start::
+
+    from repro.graphs import load_dataset, pattern_query, graph_database
+    from repro.core import TrieJaxAccelerator
+
+    database = graph_database(load_dataset("wiki", scale=0.01))
+    outcome = TrieJaxAccelerator().run(pattern_query("cycle3"), database)
+    print(outcome.cardinality, "triangles")
+    print(outcome.report.summary())
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,62 @@
+"""Baseline system models: CTJ, EmptyHeaded, Graphicionado and Q100.
+
+Each model executes a real algorithm from this repository against the same
+database the accelerator uses, then converts the measured work into runtime,
+energy and main-memory accesses with an explicit cost model (and, for the two
+estimated hardware accelerators, the published best-case scaling factor) —
+the same methodology the paper describes in Section 4.1.
+"""
+
+from repro.baselines.base import BaselineResult, BaselineSystem
+from repro.baselines.cpu_model import (
+    CPUConfig,
+    CPUCostModel,
+    CPUEstimate,
+    WorkloadProfile,
+)
+from repro.baselines.ctj_sw import CTJ_PROFILE, CTJSoftware
+from repro.baselines.emptyheaded import EMPTYHEADED_PROFILE, EmptyHeadedModel
+from repro.baselines.graphicionado import (
+    GRAPHICIONADO_BEST_ENERGY_IMPROVEMENT,
+    GRAPHICIONADO_BEST_SPEEDUP,
+    GRAPHMAT_PROFILE,
+    GraphicionadoModel,
+    VertexProgramEngine,
+    VertexProgramStats,
+)
+from repro.baselines.q100 import (
+    MONETDB_PROFILE,
+    Q100_BEST_ENERGY_IMPROVEMENT,
+    Q100_BEST_SPEEDUP,
+    Q100Model,
+)
+
+#: The four baselines in the order the paper's figures list them.
+def default_baselines():
+    """Fresh instances of the four baseline systems (paper order)."""
+    return [Q100Model(), GraphicionadoModel(), EmptyHeadedModel(), CTJSoftware()]
+
+
+__all__ = [
+    "BaselineResult",
+    "BaselineSystem",
+    "CPUConfig",
+    "CPUCostModel",
+    "CPUEstimate",
+    "WorkloadProfile",
+    "CTJ_PROFILE",
+    "CTJSoftware",
+    "EMPTYHEADED_PROFILE",
+    "EmptyHeadedModel",
+    "GRAPHICIONADO_BEST_ENERGY_IMPROVEMENT",
+    "GRAPHICIONADO_BEST_SPEEDUP",
+    "GRAPHMAT_PROFILE",
+    "GraphicionadoModel",
+    "VertexProgramEngine",
+    "VertexProgramStats",
+    "MONETDB_PROFILE",
+    "Q100_BEST_ENERGY_IMPROVEMENT",
+    "Q100_BEST_SPEEDUP",
+    "Q100Model",
+    "default_baselines",
+]

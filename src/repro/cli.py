@@ -1,0 +1,239 @@
+"""Command-line interface for the TrieJax reproduction.
+
+The CLI exposes the library's main entry points without writing any Python::
+
+    python -m repro datasets                      # list the Table 2 datasets
+    python -m repro queries                       # list the pattern queries
+    python -m repro run cycle3 --dataset wiki --scale 0.02
+    python -m repro run clique4 --dataset grqc --scale 0.02 --count-only
+    python -m repro run path4 --edge-list my_graph.txt --engine ctj
+    python -m repro experiment figure14 --scale 0.01
+    python -m repro compare cycle4 --dataset bitcoin --scale 0.01
+
+``run`` executes one pattern query either on the TrieJax accelerator model
+(default) or on one of the software engines; ``experiment`` regenerates one
+of the paper's tables/figures; ``compare`` pits TrieJax against the four
+baseline systems on a single workload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.baselines import default_baselines
+from repro.core import TrieJaxAccelerator, TrieJaxConfig
+from repro.eval import EXPERIMENT_REGISTRY, ExperimentContext, format_table
+from repro.graphs import (
+    DATASET_NAMES,
+    EXTRA_PATTERN_NAMES,
+    PATTERN_NAMES,
+    graph_database,
+    load_dataset,
+    load_snap_edge_list,
+    pattern_query,
+    table1_rows,
+    table2_rows,
+)
+from repro.joins import CachedTrieJoin, GenericJoin, LeapfrogTrieJoin, PairwiseJoin
+
+#: Software engines selectable from the command line.
+_ENGINES = {
+    "lftj": LeapfrogTrieJoin,
+    "ctj": CachedTrieJoin,
+    "generic": GenericJoin,
+    "pairwise": lambda: PairwiseJoin("hash"),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for the tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TrieJax reproduction: WCOJ graph pattern matching and its accelerator model.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("datasets", help="list the Table 2 datasets")
+    subparsers.add_parser("queries", help="list the available pattern queries")
+
+    run_parser = subparsers.add_parser("run", help="run one pattern query")
+    run_parser.add_argument("query", help="pattern name (e.g. cycle3, clique4, diamond)")
+    run_parser.add_argument("--dataset", default="bitcoin", help="Table 2 dataset name")
+    run_parser.add_argument("--scale", type=float, default=0.01, help="dataset scale (0-1]")
+    run_parser.add_argument(
+        "--edge-list", default=None, help="run on a SNAP edge-list file instead of a dataset"
+    )
+    run_parser.add_argument(
+        "--engine",
+        default="triejax",
+        choices=["triejax"] + sorted(_ENGINES),
+        help="execution engine (default: the TrieJax accelerator model)",
+    )
+    run_parser.add_argument("--threads", type=int, default=32, help="hardware threads (triejax)")
+    run_parser.add_argument(
+        "--count-only", action="store_true", help="aggregate mode: count matches, do not enumerate"
+    )
+    run_parser.add_argument(
+        "--show-results", type=int, default=0, metavar="N", help="print the first N result tuples"
+    )
+
+    experiment_parser = subparsers.add_parser(
+        "experiment", help="regenerate one of the paper's tables/figures"
+    )
+    experiment_parser.add_argument("name", choices=sorted(EXPERIMENT_REGISTRY))
+    experiment_parser.add_argument("--scale", type=float, default=0.01)
+    experiment_parser.add_argument(
+        "--datasets", nargs="+", default=None, help="subset of datasets to sweep"
+    )
+    experiment_parser.add_argument(
+        "--queries", nargs="+", default=None, help="subset of queries to sweep"
+    )
+
+    compare_parser = subparsers.add_parser(
+        "compare", help="compare TrieJax against the four baselines on one workload"
+    )
+    compare_parser.add_argument("query")
+    compare_parser.add_argument("--dataset", default="bitcoin")
+    compare_parser.add_argument("--scale", type=float, default=0.01)
+
+    return parser
+
+
+# --------------------------------------------------------------------------- #
+# Sub-command implementations
+# --------------------------------------------------------------------------- #
+def _cmd_datasets() -> int:
+    rows = [
+        (snap, short, nodes, edges, category)
+        for snap, short, nodes, edges, category in table2_rows()
+    ]
+    print(format_table(("dataset", "short name", "#nodes", "#edges", "category"), rows))
+    return 0
+
+
+def _cmd_queries() -> int:
+    rows = [(name, datalog) for name, datalog in table1_rows()]
+    rows.extend(
+        (name, pattern_query(name).to_datalog()) for name in EXTRA_PATTERN_NAMES
+    )
+    print(format_table(("query", "definition"), rows))
+    return 0
+
+
+def _load_database(args) -> object:
+    if args.edge_list:
+        graph = load_snap_edge_list(args.edge_list)
+    else:
+        if args.dataset not in DATASET_NAMES:
+            raise SystemExit(
+                f"unknown dataset {args.dataset!r}; choose from {', '.join(DATASET_NAMES)}"
+            )
+        graph = load_dataset(args.dataset, scale=args.scale)
+    print(f"graph: {graph.name} ({graph.num_vertices} vertices, {graph.num_edges} edges)")
+    return graph_database(graph)
+
+
+def _cmd_run(args) -> int:
+    database = _load_database(args)
+    query = pattern_query(args.query)
+    print(f"query: {query.to_datalog()}")
+
+    if args.engine == "triejax":
+        config = TrieJaxConfig(num_threads=args.threads)
+        accelerator = TrieJaxAccelerator(config)
+        outcome = accelerator.run(
+            query,
+            database,
+            dataset_name=args.dataset if not args.edge_list else None,
+            aggregate="count" if args.count_only else None,
+        )
+        print(f"matches: {outcome.cardinality}")
+        print(outcome.report.summary())
+        tuples = outcome.tuples
+    else:
+        engine = _ENGINES[args.engine]()
+        result = engine.run(query, database)
+        print(f"matches: {result.cardinality}")
+        stats = result.stats
+        print(
+            f"  intermediate results: {stats.intermediate_results}\n"
+            f"  index element reads : {stats.index_element_reads}\n"
+            f"  cache hits/lookups  : {stats.cache_hits}/{stats.cache_lookups}"
+        )
+        tuples = result.tuples
+
+    if args.show_results > 0:
+        for row in tuples[: args.show_results]:
+            print("  " + ", ".join(str(v) for v in row))
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    kwargs = {}
+    if args.datasets:
+        kwargs["datasets"] = tuple(args.datasets)
+    if args.queries:
+        kwargs["queries"] = tuple(args.queries)
+    context = ExperimentContext(scale=args.scale, **kwargs)
+    result = EXPERIMENT_REGISTRY[args.name](context)
+    print(result.to_text())
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    context = ExperimentContext(
+        scale=args.scale, datasets=(args.dataset,), queries=(args.query,)
+    )
+    triejax = context.run_triejax(args.query, args.dataset)
+    rows = [
+        (
+            "triejax",
+            triejax.report.runtime_ns / 1e3,
+            triejax.report.total_energy_nj / 1e3,
+            triejax.report.dram.accesses,
+            triejax.cardinality,
+        )
+    ]
+    for system in default_baselines():
+        estimate = context.run_baseline(system.name, args.query, args.dataset)
+        rows.append(
+            (
+                system.name,
+                estimate.runtime_ns / 1e3,
+                estimate.energy_nj / 1e3,
+                estimate.dram_accesses,
+                estimate.output_tuples,
+            )
+        )
+    print(
+        format_table(
+            ("system", "runtime (us)", "energy (uJ)", "DRAM accesses", "results"),
+            rows,
+            title=f"{args.query} on {args.dataset} (scale {args.scale})",
+        )
+    )
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    if args.command == "datasets":
+        return _cmd_datasets()
+    if args.command == "queries":
+        return _cmd_queries()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

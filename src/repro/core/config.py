@@ -1,0 +1,147 @@
+"""Configuration of the TrieJax accelerator model.
+
+The paper's physical design fixes the headline parameters reproduced as
+defaults here (Section 3.7 and 4.1): a 2.38 GHz clock (0.42 ns critical
+path), 32 hardware threads with dynamic multithreading, a 4 MB partial-join-
+result (PJR) cache split over 4 banks, read-only 32 KB L1/L2 caches, a 20 MB
+LLC shared with the host cores, DDR3-1600 DRAM over two channels, and a
+5.31 mm² core area.  Per-operation occupancy cycles of the functional units
+(LUB, MatchMaker, Midwife, Cupid) are one- or two-cycle events, consistent
+with the small synthesized units the paper describes.
+
+Everything is overridable so the ablation benches (thread sweep, MT scheme,
+PJR on/off, write bypass on/off, PJR size) can explore the design space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+from repro.memory.dram import DRAMConfig
+from repro.memory.energy import EnergyConstants
+from repro.memory.hierarchy import HierarchyConfig
+from repro.util.validation import check_in_range, check_positive
+
+#: Multithreading schemes supported by the scheduler (Section 3.4).
+MT_SCHEMES = ("static", "dynamic", "hybrid")
+
+
+@dataclass(frozen=True)
+class TrieJaxConfig:
+    """Complete parameterisation of one TrieJax instance."""
+
+    # --- Clock / identification ------------------------------------------ #
+    frequency_ghz: float = 2.38
+    core_area_mm2: float = 5.31
+
+    # --- Multithreading (Section 3.4) ------------------------------------ #
+    num_threads: int = 32
+    mt_scheme: str = "hybrid"
+
+    # --- Partial-join-result cache (Section 3.5 / 3.7) ------------------- #
+    enable_pjr_cache: bool = True
+    pjr_size_bytes: int = 4 * 1024 * 1024
+    pjr_banks: int = 4
+    pjr_entry_capacity_values: int = 512
+    pjr_bytes_per_value: int = 8  # cached value + trie index
+
+    # --- Functional unit replication (Figure 7) --------------------------- #
+    lub_units: int = 4
+    matchmaker_units: int = 2
+    midwife_units: int = 2
+    cupid_units: int = 1
+    pjr_ports: int = 4
+
+    # --- Per-operation occupancy cycles ----------------------------------- #
+    lub_probe_cycles: int = 1
+    matchmaker_cycles: int = 1
+    midwife_cycles: int = 1
+    cupid_cycles: int = 1
+    result_emit_cycles: int = 1
+    pjr_lookup_cycles: int = 2
+    pjr_read_cycles: int = 1
+    pjr_write_cycles: int = 1
+    spawn_cycles: int = 2
+
+    # --- Memory system ----------------------------------------------------- #
+    hierarchy: HierarchyConfig = field(default_factory=HierarchyConfig)
+    dram: DRAMConfig = field(default_factory=DRAMConfig)
+    energy: EnergyConstants = field(default_factory=EnergyConstants)
+
+    # --- Local thread-state stores (Section 3.7, for the report only) ------ #
+    cupid_state_bytes: int = 16 * 1024
+    unit_state_bytes: int = 512
+
+    def __post_init__(self) -> None:
+        check_positive("frequency_ghz", self.frequency_ghz)
+        check_positive("num_threads", self.num_threads)
+        if self.mt_scheme not in MT_SCHEMES:
+            raise ValueError(
+                f"mt_scheme must be one of {MT_SCHEMES}, got {self.mt_scheme!r}"
+            )
+        check_positive("pjr_size_bytes", self.pjr_size_bytes)
+        check_positive("pjr_banks", self.pjr_banks)
+        check_positive("pjr_entry_capacity_values", self.pjr_entry_capacity_values)
+        check_positive("pjr_bytes_per_value", self.pjr_bytes_per_value)
+        for name in (
+            "lub_units",
+            "matchmaker_units",
+            "midwife_units",
+            "cupid_units",
+            "pjr_ports",
+        ):
+            check_positive(name, getattr(self, name))
+        for name in (
+            "lub_probe_cycles",
+            "matchmaker_cycles",
+            "midwife_cycles",
+            "cupid_cycles",
+            "result_emit_cycles",
+            "pjr_lookup_cycles",
+            "pjr_read_cycles",
+            "pjr_write_cycles",
+            "spawn_cycles",
+        ):
+            check_positive(name, getattr(self, name))
+
+    # ------------------------------------------------------------------ #
+    # Derived quantities and convenience constructors
+    # ------------------------------------------------------------------ #
+    @property
+    def cycle_time_ns(self) -> float:
+        """Clock period in nanoseconds (0.42 ns at the default 2.38 GHz)."""
+        return 1.0 / self.frequency_ghz
+
+    def cycles_to_ns(self, cycles: float) -> float:
+        return cycles * self.cycle_time_ns
+
+    def component_units(self) -> Dict[str, int]:
+        """Unit count per schedulable component name."""
+        return {
+            "lub": self.lub_units,
+            "matchmaker": self.matchmaker_units,
+            "midwife": self.midwife_units,
+            "cupid": self.cupid_units,
+            "pjr": self.pjr_ports,
+        }
+
+    def with_threads(self, num_threads: int, mt_scheme: str | None = None) -> "TrieJaxConfig":
+        """Copy with a different thread count (Figure 14 sweep)."""
+        return replace(
+            self,
+            num_threads=num_threads,
+            mt_scheme=mt_scheme if mt_scheme is not None else self.mt_scheme,
+        )
+
+    def without_pjr_cache(self) -> "TrieJaxConfig":
+        """Copy with the partial-join-result cache disabled (ablation)."""
+        return replace(self, enable_pjr_cache=False)
+
+    def with_write_bypass(self, enabled: bool) -> "TrieJaxConfig":
+        """Copy toggling the result write-bypass optimisation (Section 3.1)."""
+        return replace(self, hierarchy=replace(self.hierarchy, write_bypass=enabled))
+
+    def with_pjr_size(self, size_bytes: int) -> "TrieJaxConfig":
+        """Copy with a different PJR cache capacity (design-space sweeps)."""
+        return replace(self, pjr_size_bytes=size_bytes)

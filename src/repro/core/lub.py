@@ -1,0 +1,76 @@
+"""The LUB (lowest-upper-bound) unit.
+
+LUB is TrieJax's only unit that issues index reads to memory (Figure 9): it
+performs a binary search over a sorted trie array, one probe — and therefore
+one dependent memory access — per iteration.  Encapsulating the search in a
+dedicated, replicated unit is what lets the accelerator keep several
+independent binary searches (from different hardware threads) in flight and
+hide memory latency.
+
+The model below walks the same probe sequence a hardware binary search would
+(midpoints of the shrinking bracket), emitting one :class:`Operation` per
+probe with the probed element's byte address, and returns the lowest-upper-
+bound position exactly like :func:`repro.util.sorted_ops.lowest_upper_bound`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.core.config import TrieJaxConfig
+from repro.core.operations import Operation
+from repro.relational.layout import MemoryLayout
+
+
+class LUBUnit:
+    """Binary-search unit: emits one probe operation per search iteration."""
+
+    COMPONENT = "lub"
+
+    def __init__(self, config: TrieJaxConfig, layout: MemoryLayout):
+        self.config = config
+        self.layout = layout
+
+    def search(
+        self,
+        trie_key: str,
+        level: int,
+        values: Sequence[int],
+        lo: int,
+        hi: int,
+        target: int,
+    ) -> Iterator[Operation]:
+        """Generator: binary-search ``target`` in ``values[lo:hi]``.
+
+        Yields one operation per probe; the generator's return value (via
+        ``StopIteration.value`` / ``yield from``) is the lowest-upper-bound
+        index, i.e. the first position whose value is ``>= target`` or ``hi``
+        when no such position exists.
+        """
+        region = self.layout.values_region(trie_key, level)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            yield Operation(
+                component=self.COMPONENT,
+                cycles=self.config.lub_probe_cycles,
+                read_addresses=(region.address_of(mid),),
+                tag="lub_probe",
+            )
+            if values[mid] < target:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    def read_value(
+        self, trie_key: str, level: int, index: int
+    ) -> Iterator[Operation]:
+        """Generator: load a single trie element (used to read cursor values)."""
+        region = self.layout.values_region(trie_key, level)
+        yield Operation(
+            component=self.COMPONENT,
+            cycles=self.config.lub_probe_cycles,
+            read_addresses=(region.address_of(index),),
+            tag="lub_load",
+        )
+        return index

@@ -1,0 +1,144 @@
+"""The MatchMaker unit.
+
+MatchMaker implements one join variable's leapfrog intersection (Figure 10):
+it coordinates LUB searches across the candidate ranges contributed by the
+atoms that mention the variable until all ranges agree on a value (a match)
+or one of them is exhausted.  Cupid asks it for the matches of the current
+variable; the matches — value plus the matched node's index in every
+participating trie — are what Cupid then uses to adjust the tries via
+Midwife and to descend to the next variable.
+
+The model enumerates *all* matches of the variable in one request.  The
+hardware interleaves match delivery with Cupid's descent, but the amount of
+work (LUB probes, value loads, coordination cycles) is the same; only the
+issue order differs, which is within the tolerance of this cycle-approximate
+model and is what makes dynamic work splitting straightforward.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from repro.core.config import TrieJaxConfig
+from repro.core.lub import LUBUnit
+from repro.core.operations import Operation
+
+
+@dataclass(frozen=True)
+class Participant:
+    """One atom's contribution to a variable's intersection."""
+
+    trie_key: str
+    values: Sequence[int]
+    level: int
+    lo: int
+    hi: int
+
+    @property
+    def size(self) -> int:
+        return self.hi - self.lo
+
+
+class MatchMakerUnit:
+    """Leapfrog-intersection unit built on top of :class:`LUBUnit`."""
+
+    COMPONENT = "matchmaker"
+
+    def __init__(self, config: TrieJaxConfig, lub: LUBUnit):
+        self.config = config
+        self.lub = lub
+
+    def find_matches(
+        self, participants: Sequence[Participant]
+    ) -> Iterator[Operation]:
+        """Generator: intersect the participants' ranges.
+
+        Yields the coordination and probe operations; returns the list of
+        matches, each a ``(value, {trie_key: index})`` pair.  A single
+        participant degenerates to a scan of its range (every value matches).
+        """
+        if not participants:
+            return []
+        if any(p.size <= 0 for p in participants):
+            return []
+
+        if len(participants) == 1:
+            return (yield from self._scan_single(participants[0]))
+
+        matches: List[Tuple[int, Dict[str, int]]] = []
+        cursors = [p.lo for p in participants]
+        values: List[int] = []
+        for i, participant in enumerate(participants):
+            yield from self.lub.read_value(
+                participant.trie_key, participant.level, cursors[i]
+            )
+            values.append(participant.values[cursors[i]])
+
+        # Align-to-max leapfrogging: every round either all cursors agree
+        # (a match) or at least one lagging cursor leaps forward.
+        while True:
+            max_value = max(values)
+            if all(value == max_value for value in values):
+                yield Operation(
+                    component=self.COMPONENT,
+                    cycles=self.config.matchmaker_cycles,
+                    tag="match",
+                )
+                matches.append(
+                    (
+                        max_value,
+                        {
+                            participants[i].trie_key: cursors[i]
+                            for i in range(len(participants))
+                        },
+                    )
+                )
+                exhausted = False
+                for i in range(len(participants)):
+                    cursors[i] += 1
+                    if cursors[i] >= participants[i].hi:
+                        exhausted = True
+                if exhausted:
+                    return matches
+                for i, participant in enumerate(participants):
+                    yield from self.lub.read_value(
+                        participant.trie_key, participant.level, cursors[i]
+                    )
+                    values[i] = participant.values[cursors[i]]
+                continue
+
+            for i, participant in enumerate(participants):
+                if values[i] < max_value:
+                    yield Operation(
+                        component=self.COMPONENT,
+                        cycles=self.config.matchmaker_cycles,
+                        tag="seek",
+                    )
+                    position = yield from self.lub.search(
+                        participant.trie_key,
+                        participant.level,
+                        participant.values,
+                        cursors[i],
+                        participant.hi,
+                        max_value,
+                    )
+                    if position >= participant.hi:
+                        return matches
+                    cursors[i] = position
+                    yield from self.lub.read_value(
+                        participant.trie_key, participant.level, position
+                    )
+                    values[i] = participant.values[position]
+
+    def _scan_single(self, participant: Participant) -> Iterator[Operation]:
+        """Single-participant case: every value in the range is a match."""
+        matches: List[Tuple[int, Dict[str, int]]] = []
+        for position in range(participant.lo, participant.hi):
+            yield from self.lub.read_value(
+                participant.trie_key, participant.level, position
+            )
+            matches.append(
+                (participant.values[position], {participant.trie_key: position})
+            )
+        return matches

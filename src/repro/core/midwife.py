@@ -1,0 +1,52 @@
+"""The Midwife unit.
+
+Midwife "extracts the children of a node in the trie" (Figure 11): given the
+index of a matched value at trie level ``l``, it reads two consecutive
+entries of that level's child-ranges array and returns the half-open range of
+the node's children within level ``l + 1``.  The unit is duplicated so that
+the child ranges of two tries can be resolved in parallel; the scheduler
+enforces that replication through the component's unit count.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+from repro.core.config import TrieJaxConfig
+from repro.core.operations import Operation
+from repro.relational.layout import MemoryLayout
+from repro.relational.trie import TrieIndex
+
+
+class MidwifeUnit:
+    """Child-range extraction unit: two offset reads per expansion."""
+
+    COMPONENT = "midwife"
+
+    def __init__(self, config: TrieJaxConfig, layout: MemoryLayout):
+        self.config = config
+        self.layout = layout
+
+    def expand(
+        self,
+        trie_key: str,
+        trie: TrieIndex,
+        parent_level: int,
+        parent_index: int,
+    ) -> Iterator[Operation]:
+        """Generator: resolve the children range of node ``parent_index``.
+
+        Yields the offset-array read operation and returns the ``(start,
+        end)`` index range into level ``parent_level + 1`` of the trie.
+        """
+        region = self.layout.offsets_region(trie_key, parent_level)
+        yield Operation(
+            component=self.COMPONENT,
+            cycles=self.config.midwife_cycles,
+            read_addresses=(
+                region.address_of(parent_index),
+                region.address_of(parent_index + 1),
+            ),
+            tag="midwife_expand",
+        )
+        return trie.children_range(parent_level, parent_index)

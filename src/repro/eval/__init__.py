@@ -1,0 +1,83 @@
+"""Evaluation harness: regenerates every table and figure of the paper.
+
+Usage pattern (also what the ``benchmarks/`` directory does)::
+
+    from repro.eval import ExperimentContext, figure13
+
+    context = ExperimentContext(scale=0.01)
+    print(figure13(context).to_text())
+"""
+
+from repro.eval.metrics import (
+    arithmetic_mean,
+    geometric_mean,
+    group_by,
+    normalise,
+    reduction,
+    speedup,
+    summarise_ratios,
+)
+from repro.eval.reporting import (
+    format_distribution,
+    format_ratio_summary,
+    format_series,
+    format_table,
+    indent,
+)
+from repro.eval.harness import (
+    BASELINE_ORDER,
+    DEFAULT_EVAL_SCALE,
+    ExperimentContext,
+)
+from repro.eval.experiments import (
+    ENERGY_COMPONENTS,
+    EXPERIMENT_REGISTRY,
+    FIGURE14_THREAD_COUNTS,
+    ExperimentResult,
+    ablation_mt_scheme,
+    ablation_pjr_cache,
+    ablation_write_bypass,
+    figure13,
+    figure14,
+    figure15,
+    figure16,
+    figure17,
+    figure18,
+    table1,
+    table2,
+    table3,
+)
+
+__all__ = [
+    "arithmetic_mean",
+    "geometric_mean",
+    "group_by",
+    "normalise",
+    "reduction",
+    "speedup",
+    "summarise_ratios",
+    "format_distribution",
+    "format_ratio_summary",
+    "format_series",
+    "format_table",
+    "indent",
+    "BASELINE_ORDER",
+    "DEFAULT_EVAL_SCALE",
+    "ExperimentContext",
+    "ENERGY_COMPONENTS",
+    "EXPERIMENT_REGISTRY",
+    "FIGURE14_THREAD_COUNTS",
+    "ExperimentResult",
+    "ablation_mt_scheme",
+    "ablation_pjr_cache",
+    "ablation_write_bypass",
+    "figure13",
+    "figure14",
+    "figure15",
+    "figure16",
+    "figure17",
+    "figure18",
+    "table1",
+    "table2",
+    "table3",
+]

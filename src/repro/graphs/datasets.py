@@ -1,0 +1,172 @@
+"""The evaluation datasets (Table 2) and their synthetic stand-ins.
+
+Table 2 of the paper lists six SNAP graphs:
+
+=============================  =======  ========  =============
+dataset (short name)           #Nodes   #Edges    Category
+=============================  =======  ========  =============
+ca-GrQc (grqc)                 5,242    14,496    Collaboration
+soc-sign-bitcoin-alpha         3,783    24,186    Bitcoin
+p2p-Gnutella04 (gnu04)         10,876   39,994    P2P
+ego-Facebook (facebook)        4,039    88,234    Social
+wiki-Vote (wiki)               7,115    103,689   Social
+p2p-Gnutella31 (gnu31)         62,586   147,892   P2P
+=============================  =======  ========  =============
+
+SNAP is unreachable offline, so :func:`load_dataset` generates a synthetic
+graph per dataset with the same node/edge counts (at ``scale=1.0``) and a
+category-appropriate generator (power-law for social/collaboration/bitcoin,
+uniform for P2P).  Experiments may pass ``scale < 1`` to shrink every dataset
+proportionally — the evaluation harness does this so whole-figure sweeps run
+in seconds; the scale used is recorded with every reported number (see
+EXPERIMENTS.md).  If a user has the real SNAP files on disk they can load
+them through :mod:`repro.graphs.loader` and register them instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.graphs.generators import preferential_attachment_graph, uniform_random_graph
+from repro.graphs.graph import Graph
+from repro.util.validation import check_in_range
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Static description of one Table 2 dataset."""
+
+    short_name: str
+    snap_name: str
+    num_nodes: int
+    num_edges: int
+    category: str
+    generator: str  # "powerlaw" or "uniform"
+    skew: float
+
+    def scaled_counts(self, scale: float) -> Tuple[int, int]:
+        """Node/edge counts after applying ``scale`` (keeping density-ish shape)."""
+        check_in_range("scale", scale, 1e-6, 1.0)
+        nodes = max(8, int(round(self.num_nodes * scale)))
+        edges = max(nodes, int(round(self.num_edges * scale)))
+        # Do not exceed what a simple directed graph of `nodes` vertices holds.
+        edges = min(edges, nodes * (nodes - 1))
+        return nodes, edges
+
+
+#: The Table 2 datasets, in the table's (edge-count ascending) order.
+DATASET_SPECS: Dict[str, DatasetSpec] = {
+    "grqc": DatasetSpec(
+        short_name="grqc",
+        snap_name="ca-GrQc",
+        num_nodes=5_242,
+        num_edges=14_496,
+        category="Collaboration",
+        generator="powerlaw",
+        skew=1.3,
+    ),
+    "bitcoin": DatasetSpec(
+        short_name="bitcoin",
+        snap_name="soc-sign-bitcoin-alpha",
+        num_nodes=3_783,
+        num_edges=24_186,
+        category="Bitcoin",
+        generator="powerlaw",
+        skew=1.2,
+    ),
+    "gnu04": DatasetSpec(
+        short_name="gnu04",
+        snap_name="p2p-Gnutella04",
+        num_nodes=10_876,
+        num_edges=39_994,
+        category="P2P",
+        generator="uniform",
+        skew=0.0,
+    ),
+    "facebook": DatasetSpec(
+        short_name="facebook",
+        snap_name="ego-Facebook",
+        num_nodes=4_039,
+        num_edges=88_234,
+        category="Social",
+        generator="powerlaw",
+        skew=1.1,
+    ),
+    "wiki": DatasetSpec(
+        short_name="wiki",
+        snap_name="wiki-Vote",
+        num_nodes=7_115,
+        num_edges=103_689,
+        category="Social",
+        generator="powerlaw",
+        skew=1.1,
+    ),
+    "gnu31": DatasetSpec(
+        short_name="gnu31",
+        snap_name="p2p-Gnutella31",
+        num_nodes=62_586,
+        num_edges=147_892,
+        category="P2P",
+        generator="uniform",
+        skew=0.0,
+    ),
+}
+
+#: Dataset short names in the order the paper's figures iterate them
+#: (alphabetical: bitcoin, facebook, gnu04, gnu31, grqc, wiki).
+DATASET_NAMES: Tuple[str, ...] = ("bitcoin", "facebook", "gnu04", "gnu31", "grqc", "wiki")
+
+#: Default seed offset so each dataset gets an independent random stream.
+_DATASET_SEED_BASE = 45_2020  # ASPLOS'20 45nm :)
+
+
+def dataset_spec(name: str) -> DatasetSpec:
+    """Return the :class:`DatasetSpec` for ``name`` (short name, case-insensitive)."""
+    key = name.lower()
+    if key not in DATASET_SPECS:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {sorted(DATASET_SPECS)}"
+        )
+    return DATASET_SPECS[key]
+
+
+def load_dataset(name: str, scale: float = 1.0, seed: int | None = None) -> Graph:
+    """Generate the synthetic stand-in for dataset ``name`` at ``scale``.
+
+    Parameters
+    ----------
+    name:
+        Short dataset name from Table 2 (``grqc``, ``bitcoin``, ``gnu04``,
+        ``facebook``, ``wiki``, ``gnu31``).
+    scale:
+        Fraction of the original node/edge counts to generate (``1.0`` =
+        full Table 2 size).  The evaluation harness defaults to a small scale
+        so that a full figure sweep completes in seconds.
+    seed:
+        Optional explicit seed; by default each dataset has its own fixed
+        seed so repeated loads are identical.
+    """
+    spec = dataset_spec(name)
+    nodes, edges = spec.scaled_counts(scale)
+    if seed is None:
+        seed = _DATASET_SEED_BASE + DATASET_NAMES.index(spec.short_name)
+    if spec.generator == "powerlaw":
+        return preferential_attachment_graph(
+            nodes, edges, seed=seed, skew=spec.skew, name=spec.short_name
+        )
+    if spec.generator == "uniform":
+        return uniform_random_graph(nodes, edges, seed=seed, name=spec.short_name)
+    raise ValueError(f"dataset {name!r} has unknown generator {spec.generator!r}")
+
+
+def table2_rows() -> List[Tuple[str, str, int, int, str]]:
+    """Rows of Table 2: (snap name, short name, #nodes, #edges, category).
+
+    Rows are ordered by edge count, as in the paper.
+    """
+    ordered = sorted(DATASET_SPECS.values(), key=lambda spec: spec.num_edges)
+    return [
+        (spec.snap_name, spec.short_name, spec.num_nodes, spec.num_edges, spec.category)
+        for spec in ordered
+    ]

@@ -1,0 +1,274 @@
+"""LeapFrog TrieJoin (LFTJ) — the worst-case optimal join of Veldhuizen.
+
+LFTJ evaluates a conjunctive query by backtracking over a global variable
+order.  For the variable at depth ``d`` it intersects, via *leapfrogging*
+lowest-upper-bound searches, the candidate value ranges contributed by every
+atom that mentions the variable; each match either extends the current
+partial binding one level deeper or, when the deepest level is reached,
+emits a result.  LFTJ materialises **no** intermediate results — that is the
+property (together with the AGM bound) that makes the algorithm family
+attractive for hardware acceleration (paper Section 2.2).
+
+The implementation below is shared with :class:`~repro.joins.ctj.CachedTrieJoin`
+(which subclasses it and adds the partial-join-result cache) and mirrors the
+structure of the accelerator model: the per-variable candidate ranges are what
+Midwife produces, the leapfrog intersection is MatchMaker + LUB, and the
+backtracking driver is Cupid.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.joins.base import JoinEngine, JoinResult
+from repro.joins.compiler import QueryCompiler
+from repro.joins.plan import AtomBinding, JoinPlan
+from repro.joins.stats import JoinStats
+from repro.relational.catalog import Database
+from repro.relational.query import ConjunctiveQuery
+from repro.relational.trie import TrieIndex
+from repro.util.sorted_ops import count_binary_search_probes, lowest_upper_bound
+
+
+class LeapfrogTrieJoin(JoinEngine):
+    """Plain (cache-less) LeapFrog TrieJoin.
+
+    Parameters
+    ----------
+    compiler:
+        Query compiler used when the caller does not pass a pre-compiled
+        plan.  LFTJ ignores any cache specs the plan carries.
+    """
+
+    name = "lftj"
+
+    def __init__(self, compiler: Optional[QueryCompiler] = None):
+        self.compiler = compiler or QueryCompiler(enable_caching=False)
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        query: ConjunctiveQuery,
+        database: Database,
+        plan: Optional[JoinPlan] = None,
+    ) -> JoinResult:
+        database.validate_query(query)
+        if plan is None:
+            plan = self.compiler.compile(query)
+        execution = _TrieJoinExecution(plan, database, use_cache=self._uses_cache())
+        tuples = execution.execute()
+        return JoinResult(query, tuples, execution.stats, plan)
+
+    def _uses_cache(self) -> bool:
+        """Whether the execution should honour the plan's cache specs."""
+        return False
+
+
+class _TrieJoinExecution:
+    """One LFTJ/CTJ execution: tries, cursor state, counters and (optionally) the cache.
+
+    The execution object is deliberately separate from the engine classes so
+    the accelerator model can reuse the exact same functional behaviour while
+    layering timing on top.
+    """
+
+    def __init__(
+        self,
+        plan: JoinPlan,
+        database: Database,
+        use_cache: bool,
+        materialize: bool = True,
+    ):
+        self.plan = plan
+        self.database = database
+        self.use_cache = use_cache
+        self.materialize = materialize
+        self.stats = JoinStats()
+        # Per-atom tries, keyed by the binding's trie key.
+        self.tries: Dict[str, TrieIndex] = {}
+        for binding in plan.atom_bindings:
+            if binding.trie_key not in self.tries:
+                self.tries[binding.trie_key] = database.trie_for_atom(
+                    binding.atom, plan.variable_order
+                )
+        # Current chosen node index per trie per level.
+        self.positions: Dict[str, List[int]] = {
+            binding.trie_key: [-1] * binding.depth for binding in plan.atom_bindings
+        }
+        self.binding: Dict[str, int] = {}
+        self.results: List[Tuple[int, ...]] = []
+        # Software partial-join-result cache: (variable, key values) -> list of
+        # (value, {trie_key: index}) entries.  Unbounded, like CTJ's use of
+        # host memory; the bounded hardware PJR cache lives in repro.core.
+        self.cache: Dict[Tuple[str, Tuple[int, ...]], List[Tuple[int, Dict[str, int]]]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Execution driver
+    # ------------------------------------------------------------------ #
+    def execute(self) -> List[Tuple[int, ...]]:
+        if any(trie.num_tuples == 0 for trie in self.tries.values()):
+            # An empty relation makes the whole join empty.
+            return []
+        self._search(0)
+        if self.materialize and not self.plan.query.is_full:
+            # Projection queries can repeat head tuples across distinct full
+            # bindings; results follow set semantics, so collapse them.
+            deduplicated: List[Tuple[int, ...]] = []
+            seen = set()
+            for row in self.results:
+                if row not in seen:
+                    seen.add(row)
+                    deduplicated.append(row)
+            self.results = deduplicated
+        self.stats.output_tuples = len(self.results)
+        return self.results
+
+    def _search(self, depth: int) -> None:
+        if depth == self.plan.num_variables:
+            self._emit()
+            return
+        variable = self.plan.variable_at(depth)
+        cache_spec = self.plan.cache_spec_for(variable) if self.use_cache else None
+
+        if cache_spec is not None:
+            key = tuple(self.binding[v] for v in cache_spec.key_variables)
+            self.stats.cache_lookups += 1
+            cached = self.cache.get((variable, key))
+            if cached is not None:
+                self.stats.cache_hits += 1
+                for value, indexes in cached:
+                    # Reading the cached value and per-trie index replaces the
+                    # leapfrog recomputation.
+                    self.stats.index_element_reads += 1 + len(indexes)
+                    self._descend(depth, variable, value, indexes)
+                return
+            # Miss: compute normally and populate the cache entry.
+            entry: List[Tuple[int, Dict[str, int]]] = []
+            for value, indexes in self._leapfrog_matches(depth, variable):
+                entry.append((value, dict(indexes)))
+                self.stats.index_element_writes += 1 + len(indexes)
+                self._descend(depth, variable, value, indexes)
+            self.cache[(variable, key)] = entry
+            self.stats.cache_inserts += 1
+            self.stats.intermediate_results += len(entry)
+            return
+
+        for value, indexes in self._leapfrog_matches(depth, variable):
+            self._descend(depth, variable, value, indexes)
+
+    def _descend(
+        self, depth: int, variable: str, value: int, indexes: Dict[str, int]
+    ) -> None:
+        """Bind ``variable`` to ``value``, record trie positions, and recurse."""
+        self.binding[variable] = value
+        self.stats.record_match(variable)
+        for binding in self.plan.bindings_with(variable):
+            level = binding.level_of(variable)
+            self.positions[binding.trie_key][level] = indexes[binding.trie_key]
+        self._search(depth + 1)
+        del self.binding[variable]
+
+    def _emit(self) -> None:
+        self.stats.bindings_enumerated += 1
+        if self.materialize:
+            self.results.append(
+                tuple(self.binding[v] for v in self.plan.query.head_variables)
+            )
+
+    # ------------------------------------------------------------------ #
+    # Per-variable leapfrog intersection
+    # ------------------------------------------------------------------ #
+    def _candidate_ranges(
+        self, variable: str
+    ) -> Optional[List[Tuple[AtomBinding, Tuple[int, int]]]]:
+        """The value-array range each participating atom contributes for ``variable``.
+
+        Returns ``None`` when some participating atom has an empty range
+        (no children under the current path), in which case the variable has
+        no matches.
+        """
+        ranges: List[Tuple[AtomBinding, Tuple[int, int]]] = []
+        for binding in self.plan.bindings_with(variable):
+            trie = self.tries[binding.trie_key]
+            level = binding.level_of(variable)
+            if level == 0:
+                value_range = trie.root_range()
+            else:
+                parent_index = self.positions[binding.trie_key][level - 1]
+                value_range = trie.children_range(level - 1, parent_index)
+                # Midwife reads two entries of the child-offsets array.
+                self.stats.index_element_reads += 2
+            if value_range[0] >= value_range[1]:
+                return None
+            ranges.append((binding, value_range))
+        return ranges
+
+    def _leapfrog_matches(
+        self, depth: int, variable: str
+    ) -> Iterator[Tuple[int, Dict[str, int]]]:
+        """Yield every value of ``variable`` present in all participating ranges.
+
+        Each yielded item carries, per participating trie, the absolute index
+        of the matched value in that trie's level array (needed to expand the
+        children at the next depth and to populate cache entries).
+        """
+        ranges = self._candidate_ranges(variable)
+        if ranges is None:
+            return
+
+        # Handle repeated variables within one atom (e.g. R(x, x)): the same
+        # binding participates once but the trie constrains both levels; the
+        # deeper level is checked in `_descend` implicitly because the level
+        # order lists the variable only once.  Nothing special needed here.
+
+        tries = [self.tries[binding.trie_key] for binding, _range in ranges]
+        keys = [binding.trie_key for binding, _range in ranges]
+        levels = [binding.level_of(variable) for binding, _range in ranges]
+        cursors = [rng[0] for _binding, rng in ranges]
+        ends = [rng[1] for _binding, rng in ranges]
+        arrays = [tries[i].level_values(levels[i]) for i in range(len(ranges))]
+
+        if len(ranges) == 1:
+            # Single participating atom: every value in the range matches.
+            for position in range(cursors[0], ends[0]):
+                self.stats.index_element_reads += 1
+                yield arrays[0][position], {keys[0]: position}
+            return
+
+        k = len(ranges)
+        values = []
+        for i in range(k):
+            self.stats.index_element_reads += 1
+            values.append(arrays[i][cursors[i]])
+
+        # Align-to-max loop: every iteration either emits a match (all
+        # cursors agree) or leaps at least one lagging cursor forward via a
+        # lowest-upper-bound search, so termination is guaranteed.
+        while True:
+            max_value = max(values)
+            if all(value == max_value for value in values):
+                yield max_value, {keys[i]: cursors[i] for i in range(k)}
+                # Sibling values within a range are distinct, so the matched
+                # value cannot reappear: advance every cursor by one.
+                for i in range(k):
+                    cursors[i] += 1
+                    if cursors[i] >= ends[i]:
+                        return
+                for i in range(k):
+                    self.stats.index_element_reads += 1
+                    values[i] = arrays[i][cursors[i]]
+                continue
+            for i in range(k):
+                if values[i] < max_value:
+                    self.stats.lub_searches += 1
+                    self.stats.index_element_reads += count_binary_search_probes(
+                        ends[i] - cursors[i]
+                    )
+                    position = lowest_upper_bound(arrays[i], max_value, cursors[i], ends[i])
+                    if position == ends[i]:
+                        return
+                    cursors[i] = position
+                    self.stats.index_element_reads += 1
+                    values[i] = arrays[i][position]

@@ -1,0 +1,195 @@
+"""Join plans produced by the CTJ query compiler.
+
+A :class:`JoinPlan` is the compiled form of a conjunctive query consumed by
+every WCOJ engine in the repository (software LFTJ/CTJ and the TrieJax
+accelerator).  It fixes three things:
+
+* the **global variable order** (the order in which variables are eliminated,
+  Section 2.2.2 "CTJ first orders the variables");
+* for every atom, the **trie attribute order** implied by the global order,
+  plus which trie level corresponds to which global variable;
+* the **cache structure** (Section 2.2.2 / 3.5): which variables are cached
+  in the partial-join-result cache and which preceding variables form their
+  keys.
+
+Plans are plain data: engines never re-derive ordering decisions at run time,
+which keeps software runs and accelerator simulations of the same query
+exactly aligned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.relational.query import Atom, ConjunctiveQuery
+
+
+@dataclass(frozen=True)
+class AtomBinding:
+    """How one body atom participates in the variable elimination order.
+
+    Attributes
+    ----------
+    atom:
+        The query atom.
+    trie_key:
+        Key under which the engine registers/looks up the atom's trie.  Two
+        atoms over the same stored relation with different variable orders
+        get different keys.
+    variable_levels:
+        Mapping ``variable -> trie level`` for the variables this atom binds.
+        Levels follow the global variable order restricted to this atom.
+    """
+
+    atom: Atom
+    trie_key: str
+    variable_levels: Dict[str, int] = field(hash=False, default_factory=dict)
+
+    def level_of(self, variable: str) -> int:
+        return self.variable_levels[variable]
+
+    def variable_at_level(self, level: int) -> str:
+        """Variable stored at trie ``level`` of this atom."""
+        for variable, var_level in self.variable_levels.items():
+            if var_level == level:
+                return variable
+        raise KeyError(f"atom {self.atom} has no variable at level {level}")
+
+    def binds(self, variable: str) -> bool:
+        return variable in self.variable_levels
+
+    @property
+    def depth(self) -> int:
+        """Number of trie levels (distinct variables bound by the atom)."""
+        return len(self.variable_levels)
+
+
+@dataclass(frozen=True)
+class CacheSpec:
+    """Partial-join-result cache structure for one cached variable.
+
+    Attributes
+    ----------
+    cached_variable:
+        The variable whose matches are cached (``z`` in the paper's Path-4
+        example).
+    key_variables:
+        Preceding variables whose binding forms the cache key (``y`` in the
+        example).  Always a *proper* subset of the variables preceding
+        ``cached_variable`` in the global order — otherwise caching could
+        never be reused and the compiler does not emit a spec.
+    reuse_variables:
+        The preceding variables *not* in the key; reuse happens when these
+        change while the key stays fixed.
+    """
+
+    cached_variable: str
+    key_variables: Tuple[str, ...]
+    reuse_variables: Tuple[str, ...]
+
+
+class JoinPlan:
+    """Compiled execution plan for one conjunctive query."""
+
+    def __init__(
+        self,
+        query: ConjunctiveQuery,
+        variable_order: Sequence[str],
+        atom_bindings: Sequence[AtomBinding],
+        cache_specs: Sequence[CacheSpec] = (),
+    ):
+        if set(variable_order) != set(query.variables):
+            raise ValueError(
+                f"variable order {tuple(variable_order)!r} must cover exactly the "
+                f"query variables {query.variables!r}"
+            )
+        if len(atom_bindings) != len(query.atoms):
+            raise ValueError(
+                "plan must contain exactly one binding per query atom "
+                f"({len(atom_bindings)} bindings for {len(query.atoms)} atoms)"
+            )
+        self.query = query
+        self.variable_order: Tuple[str, ...] = tuple(variable_order)
+        self.atom_bindings: Tuple[AtomBinding, ...] = tuple(atom_bindings)
+        self._cache_by_variable: Dict[str, CacheSpec] = {
+            spec.cached_variable: spec for spec in cache_specs
+        }
+
+    # ------------------------------------------------------------------ #
+    # Variable-order helpers
+    # ------------------------------------------------------------------ #
+    @property
+    def num_variables(self) -> int:
+        return len(self.variable_order)
+
+    def depth_of(self, variable: str) -> int:
+        """Position of ``variable`` in the global elimination order."""
+        try:
+            return self.variable_order.index(variable)
+        except ValueError:
+            raise KeyError(f"variable {variable!r} not in plan order") from None
+
+    def variable_at(self, depth: int) -> str:
+        return self.variable_order[depth]
+
+    def bindings_with(self, variable: str) -> Tuple[AtomBinding, ...]:
+        """Atom bindings whose atom mentions ``variable``."""
+        return tuple(b for b in self.atom_bindings if b.binds(variable))
+
+    # ------------------------------------------------------------------ #
+    # Cache structure
+    # ------------------------------------------------------------------ #
+    @property
+    def cache_specs(self) -> Tuple[CacheSpec, ...]:
+        """All cache specs, ordered by the cached variable's depth."""
+        return tuple(
+            sorted(
+                self._cache_by_variable.values(),
+                key=lambda spec: self.depth_of(spec.cached_variable),
+            )
+        )
+
+    def cache_spec_for(self, variable: str) -> Optional[CacheSpec]:
+        """Cache spec whose cached variable is ``variable`` (or ``None``)."""
+        return self._cache_by_variable.get(variable)
+
+    @property
+    def uses_cache(self) -> bool:
+        """True when the plan has at least one cacheable variable.
+
+        The paper notes that Cycle-3 and Clique-4 have no valid intermediate
+        result caches; their plans have ``uses_cache == False``.
+        """
+        return bool(self._cache_by_variable)
+
+    # ------------------------------------------------------------------ #
+    # Presentation
+    # ------------------------------------------------------------------ #
+    def describe(self) -> str:
+        """Human-readable multi-line plan description (used by examples/docs)."""
+        lines: List[str] = [f"plan for {self.query.to_datalog()}"]
+        lines.append(f"  variable order: {' -> '.join(self.variable_order)}")
+        for binding in self.atom_bindings:
+            levels = ", ".join(
+                f"{var}@{lvl}" for var, lvl in sorted(
+                    binding.variable_levels.items(), key=lambda kv: kv[1]
+                )
+            )
+            lines.append(f"  atom {binding.atom}: trie {binding.trie_key} [{levels}]")
+        if self.uses_cache:
+            for spec in self.cache_specs:
+                lines.append(
+                    f"  cache: {spec.cached_variable} keyed by "
+                    f"({', '.join(spec.key_variables)}) reused across "
+                    f"({', '.join(spec.reuse_variables)})"
+                )
+        else:
+            lines.append("  cache: none (no cacheable variable)")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"JoinPlan(query={self.query.name!r}, order={self.variable_order}, "
+            f"cached={tuple(self._cache_by_variable)})"
+        )

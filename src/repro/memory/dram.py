@@ -1,0 +1,172 @@
+"""A simplified DDR3 DRAM timing model.
+
+The paper drives its evaluation with Ramulator configured as 64 GB of
+DDR3-1600 over two channels.  Reproducing Ramulator cycle-for-cycle is out of
+scope (see DESIGN.md); what the evaluation actually needs from the DRAM model
+is
+
+* a realistic *latency split* between row-buffer hits and misses,
+* per-command counts (activates, reads, writes, plus background/refresh
+  time) for the DRAMPower-style energy model, and
+* a bandwidth ceiling so result-streaming-bound queries (path4 on the large
+  datasets) saturate like they do in the paper.
+
+This module provides exactly that: addresses are mapped to
+channel/bank/row, each bank remembers its open row, and every access returns
+a latency in accelerator cycles while updating command counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class DRAMConfig:
+    """Timing/geometry parameters of the DRAM model.
+
+    Latencies are expressed in *accelerator clock cycles* (the paper's
+    TrieJax runs at 2.38 GHz).  Defaults approximate DDR3-1600 timings
+    (tCAS/tRCD/tRP around 13.75 ns each) seen from a 2.38 GHz core, with two
+    channels and eight banks per channel.
+    """
+
+    num_channels: int = 2
+    banks_per_channel: int = 8
+    row_size_bytes: int = 8192
+    line_size_bytes: int = 64
+    row_hit_latency: int = 36      # ~15 ns: CAS + bus transfer
+    row_miss_latency: int = 100    # ~42 ns: precharge + activate + CAS
+    cycles_per_transfer: int = 10  # per-64B-line channel occupancy (peak ~12.8 GB/s)
+
+    def __post_init__(self) -> None:
+        check_positive("num_channels", self.num_channels)
+        check_positive("banks_per_channel", self.banks_per_channel)
+        check_positive("row_size_bytes", self.row_size_bytes)
+        check_positive("line_size_bytes", self.line_size_bytes)
+        check_positive("row_hit_latency", self.row_hit_latency)
+        check_positive("row_miss_latency", self.row_miss_latency)
+        check_positive("cycles_per_transfer", self.cycles_per_transfer)
+
+
+@dataclass
+class DRAMStats:
+    """Command counters consumed by the energy model."""
+
+    reads: int = 0
+    writes: int = 0
+    activates: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+    busy_cycles: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.reads + self.writes
+
+    @property
+    def row_hit_rate(self) -> float:
+        return self.row_hits / self.accesses if self.accesses else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "reads": self.reads,
+            "writes": self.writes,
+            "activates": self.activates,
+            "row_hits": self.row_hits,
+            "row_misses": self.row_misses,
+            "busy_cycles": self.busy_cycles,
+            "row_hit_rate": self.row_hit_rate,
+        }
+
+
+class DRAMModel:
+    """Bank/row-buffer DRAM model with per-channel bandwidth accounting."""
+
+    def __init__(self, config: DRAMConfig | None = None):
+        self.config = config or DRAMConfig()
+        # (channel, bank) -> open row id, or None when closed.
+        self._open_rows: Dict[Tuple[int, int], int] = {}
+        # Earliest cycle at which each channel's data bus is free again.
+        self._channel_free_at: Dict[int, int] = {
+            channel: 0 for channel in range(self.config.num_channels)
+        }
+        self.stats = DRAMStats()
+
+    # ------------------------------------------------------------------ #
+    # Address mapping
+    # ------------------------------------------------------------------ #
+    def _map(self, address: int) -> Tuple[int, int, int]:
+        """Map a byte address to (channel, bank, row).
+
+        Lines are interleaved across channels, then banks, so streaming
+        accesses spread over the whole device — the standard open-row
+        friendly mapping.
+        """
+        line = address // self.config.line_size_bytes
+        channel = line % self.config.num_channels
+        bank = (line // self.config.num_channels) % self.config.banks_per_channel
+        row = address // (
+            self.config.row_size_bytes
+            * self.config.num_channels
+            * self.config.banks_per_channel
+        )
+        return channel, bank, row
+
+    # ------------------------------------------------------------------ #
+    # Access
+    # ------------------------------------------------------------------ #
+    def access(self, address: int, is_write: bool, now_cycle: int = 0) -> int:
+        """Perform one line access; return its latency in cycles.
+
+        ``now_cycle`` lets the caller model channel contention: if the
+        channel bus is still busy with earlier transfers the access is
+        delayed until it frees up.
+        """
+        channel, bank, row = self._map(address)
+        open_row = self._open_rows.get((channel, bank))
+        if open_row == row:
+            latency = self.config.row_hit_latency
+            self.stats.row_hits += 1
+        else:
+            latency = self.config.row_miss_latency
+            self.stats.row_misses += 1
+            self.stats.activates += 1
+            self._open_rows[(channel, bank)] = row
+
+        if is_write:
+            self.stats.writes += 1
+        else:
+            self.stats.reads += 1
+
+        # Channel bus occupancy: each 64B transfer keeps the channel busy for
+        # `cycles_per_transfer`; queue behind any in-flight transfer.
+        bus_start = max(now_cycle, self._channel_free_at[channel])
+        queue_delay = bus_start - now_cycle
+        self._channel_free_at[channel] = bus_start + self.config.cycles_per_transfer
+        total_latency = latency + queue_delay + self.config.cycles_per_transfer
+        self.stats.busy_cycles += self.config.cycles_per_transfer
+        return total_latency
+
+    # ------------------------------------------------------------------ #
+    # Derived figures
+    # ------------------------------------------------------------------ #
+    def bytes_transferred(self) -> int:
+        """Total data moved across the DRAM pins."""
+        return self.stats.accesses * self.config.line_size_bytes
+
+    def peak_bandwidth_utilisation(self, total_cycles: int) -> float:
+        """Fraction of theoretical channel-cycles actually used."""
+        if total_cycles <= 0:
+            return 0.0
+        available = total_cycles * self.config.num_channels
+        return min(1.0, self.stats.busy_cycles / available)
+
+    def reset(self) -> None:
+        self._open_rows.clear()
+        for channel in self._channel_free_at:
+            self._channel_free_at[channel] = 0
+        self.stats = DRAMStats()

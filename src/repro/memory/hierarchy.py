@@ -1,0 +1,160 @@
+"""The TrieJax-side memory hierarchy (Figure 5).
+
+TrieJax sits on the processor die like an extra core: its index reads go
+through a private read-only L1 and L2, then the shared LLC, then DRAM; its
+result writes are buffered into cache lines and streamed *around* the private
+caches straight to memory (the Section 3.1 optimisation worth up to 2.5× on
+write-heavy queries, which the ``write_bypass`` flag lets the ablation bench
+switch off).
+
+The hierarchy returns a latency (in accelerator cycles) for every access and
+keeps per-level statistics that the energy model converts into the Figure 15
+breakdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.memory.cache import CacheStats, SetAssociativeCache
+from repro.memory.dram import DRAMConfig, DRAMModel, DRAMStats
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class HierarchyConfig:
+    """Sizes and latencies of the on-die memory levels (Table 3 defaults).
+
+    Latencies are load-to-use, in accelerator cycles at 2.38 GHz.
+    """
+
+    l1_size_bytes: int = 32 * 1024
+    l1_associativity: int = 8
+    l1_latency: int = 2
+    l2_size_bytes: int = 32 * 1024
+    l2_associativity: int = 8
+    l2_latency: int = 10
+    llc_size_bytes: int = 20 * 1024 * 1024
+    llc_associativity: int = 16
+    llc_latency: int = 45
+    line_size_bytes: int = 64
+    write_bypass: bool = True
+    write_buffer_bytes: int = 64
+
+    def __post_init__(self) -> None:
+        check_positive("l1_size_bytes", self.l1_size_bytes)
+        check_positive("l2_size_bytes", self.l2_size_bytes)
+        check_positive("llc_size_bytes", self.llc_size_bytes)
+        check_positive("line_size_bytes", self.line_size_bytes)
+
+
+class MemoryHierarchy:
+    """Read-only L1/L2 + shared LLC + DRAM, with streaming result writes."""
+
+    def __init__(
+        self,
+        config: HierarchyConfig | None = None,
+        dram_config: DRAMConfig | None = None,
+    ):
+        self.config = config or HierarchyConfig()
+        self.l1 = SetAssociativeCache(
+            "L1",
+            self.config.l1_size_bytes,
+            self.config.line_size_bytes,
+            self.config.l1_associativity,
+            read_only=True,
+        )
+        self.l2 = SetAssociativeCache(
+            "L2",
+            self.config.l2_size_bytes,
+            self.config.line_size_bytes,
+            self.config.l2_associativity,
+            read_only=True,
+        )
+        self.llc = SetAssociativeCache(
+            "LLC",
+            self.config.llc_size_bytes,
+            self.config.line_size_bytes,
+            self.config.llc_associativity,
+            read_only=False,
+        )
+        self.dram = DRAMModel(dram_config)
+        # Write-combining buffer fill level, in bytes.
+        self._write_buffer_fill = 0
+        self.words_read = 0
+        self.words_written = 0
+
+    # ------------------------------------------------------------------ #
+    # Reads (index traffic)
+    # ------------------------------------------------------------------ #
+    def read(self, address: int, now_cycle: int = 0) -> int:
+        """Read one word at ``address``; return the access latency in cycles."""
+        self.words_read += 1
+        if self.l1.read(address):
+            return self.config.l1_latency
+        if self.l2.read(address):
+            return self.config.l1_latency + self.config.l2_latency
+        if self.llc.read(address):
+            return (
+                self.config.l1_latency + self.config.l2_latency + self.config.llc_latency
+            )
+        dram_latency = self.dram.access(address, is_write=False, now_cycle=now_cycle)
+        return (
+            self.config.l1_latency
+            + self.config.l2_latency
+            + self.config.llc_latency
+            + dram_latency
+        )
+
+    # ------------------------------------------------------------------ #
+    # Writes (result streaming)
+    # ------------------------------------------------------------------ #
+    def write(self, address: int, num_bytes: int = 4, now_cycle: int = 0) -> int:
+        """Write ``num_bytes`` of result data; return the latency charged.
+
+        With ``write_bypass`` enabled (the default, as in the paper) results
+        accumulate in a small write-combining buffer and one DRAM line write
+        is issued each time the buffer fills — the private caches never see
+        the traffic.  With bypass disabled every buffered line write also
+        passes through (and thrashes) the LLC, modelling the un-optimised
+        configuration of the Section 3.1 ablation.
+        """
+        self.words_written += 1
+        self._write_buffer_fill += num_bytes
+        if self._write_buffer_fill < self.config.write_buffer_bytes:
+            return 1  # absorbed by the write buffer
+        self._write_buffer_fill = 0
+        latency = self.dram.access(address, is_write=True, now_cycle=now_cycle)
+        if not self.config.write_bypass:
+            # Result lines pollute the shared LLC on their way out.
+            self.llc.write(address)
+            latency += self.config.llc_latency
+        return latency
+
+    def flush_write_buffer(self, address: int, now_cycle: int = 0) -> int:
+        """Flush any residual buffered results at the end of a run."""
+        if self._write_buffer_fill == 0:
+            return 0
+        self._write_buffer_fill = 0
+        return self.dram.access(address, is_write=True, now_cycle=now_cycle)
+
+    # ------------------------------------------------------------------ #
+    # Statistics
+    # ------------------------------------------------------------------ #
+    def level_stats(self) -> Dict[str, CacheStats]:
+        return {"L1": self.l1.stats, "L2": self.l2.stats, "LLC": self.llc.stats}
+
+    @property
+    def dram_stats(self) -> DRAMStats:
+        return self.dram.stats
+
+    def reset(self) -> None:
+        """Clear cached state and statistics (between experiment runs)."""
+        for cache in (self.l1, self.l2, self.llc):
+            cache.flush()
+            cache.reset_stats()
+        self.dram.reset()
+        self._write_buffer_fill = 0
+        self.words_read = 0
+        self.words_written = 0

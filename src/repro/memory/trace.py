@@ -1,0 +1,86 @@
+"""Memory access traces.
+
+A lightweight recorder that the accelerator (and tests) can attach to a
+:class:`~repro.memory.hierarchy.MemoryHierarchy` run to capture the sequence
+of accesses for debugging, for locality analysis, and for the unit tests that
+check e.g. that result writes really bypass the private caches.  Tracing is
+off by default — the evaluation harness never pays for it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One recorded memory access."""
+
+    cycle: int
+    address: int
+    is_write: bool
+    component: str          # which accelerator unit issued it (LUB, Midwife, ...)
+    latency: int
+
+
+class AccessTrace:
+    """An append-only access log with simple analysis helpers."""
+
+    def __init__(self, capacity: Optional[int] = None):
+        """``capacity`` bounds the number of retained entries (None = unbounded)."""
+        self.capacity = capacity
+        self._entries: List[TraceEntry] = []
+        self.dropped = 0
+
+    def record(
+        self, cycle: int, address: int, is_write: bool, component: str, latency: int
+    ) -> None:
+        if self.capacity is not None and len(self._entries) >= self.capacity:
+            self.dropped += 1
+            return
+        self._entries.append(TraceEntry(cycle, address, is_write, component, latency))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[TraceEntry]:
+        return iter(self._entries)
+
+    def entries(self) -> Tuple[TraceEntry, ...]:
+        return tuple(self._entries)
+
+    # ------------------------------------------------------------------ #
+    # Analysis helpers
+    # ------------------------------------------------------------------ #
+    def reads(self) -> List[TraceEntry]:
+        return [entry for entry in self._entries if not entry.is_write]
+
+    def writes(self) -> List[TraceEntry]:
+        return [entry for entry in self._entries if entry.is_write]
+
+    def by_component(self, component: str) -> List[TraceEntry]:
+        return [entry for entry in self._entries if entry.component == component]
+
+    def unique_lines(self, line_size: int = 64) -> int:
+        """Number of distinct cache lines touched."""
+        return len({entry.address // line_size for entry in self._entries})
+
+    def reuse_ratio(self, line_size: int = 64) -> float:
+        """Fraction of accesses that touch a previously seen line."""
+        if not self._entries:
+            return 0.0
+        seen = set()
+        reused = 0
+        for entry in self._entries:
+            line = entry.address // line_size
+            if line in seen:
+                reused += 1
+            else:
+                seen.add(line)
+        return reused / len(self._entries)
+
+    def average_latency(self) -> float:
+        if not self._entries:
+            return 0.0
+        return sum(entry.latency for entry in self._entries) / len(self._entries)

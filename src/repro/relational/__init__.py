@@ -1,0 +1,65 @@
+"""Relational substrate: schemas, relations, tries, queries and catalogs.
+
+This package provides everything the join engines and the TrieJax accelerator
+model need from a relational database:
+
+* :class:`~repro.relational.schema.Schema` and
+  :class:`~repro.relational.relation.Relation` — set-semantics tables of
+  integer tuples.
+* :class:`~repro.relational.trie.TrieIndex` — the flat (EmptyHeaded-layout)
+  trie indexes that LFTJ/CTJ scan (paper Section 2.2.1 and Figure 6).
+* :class:`~repro.relational.layout.MemoryLayout` — byte-address assignment of
+  trie arrays for the memory-hierarchy models.
+* :class:`~repro.relational.query.ConjunctiveQuery` plus the datalog and SQL
+  front ends (paper Table 1 and Figure 1).
+* :class:`~repro.relational.catalog.Database` — the catalog every engine runs
+  against.
+"""
+
+from repro.relational.schema import Schema
+from repro.relational.relation import Relation, relation_from_pairs
+from repro.relational.trie import TrieIndex, TrieSet
+from repro.relational.layout import ArrayRegion, MemoryLayout
+from repro.relational.query import Atom, ConjunctiveQuery, single_relation_query
+from repro.relational.datalog import (
+    DatalogSyntaxError,
+    parse_datalog,
+    parse_program,
+    format_datalog,
+)
+from repro.relational.sql import SQLSyntaxError, parse_sql_join
+from repro.relational.catalog import Database
+from repro.relational.statistics import (
+    DatabaseStatistics,
+    FractionalEdgeCover,
+    agm_bound,
+    agm_exponent,
+    database_statistics,
+    fractional_edge_cover,
+)
+
+__all__ = [
+    "Schema",
+    "Relation",
+    "relation_from_pairs",
+    "TrieIndex",
+    "TrieSet",
+    "ArrayRegion",
+    "MemoryLayout",
+    "Atom",
+    "ConjunctiveQuery",
+    "single_relation_query",
+    "DatalogSyntaxError",
+    "parse_datalog",
+    "parse_program",
+    "format_datalog",
+    "SQLSyntaxError",
+    "parse_sql_join",
+    "Database",
+    "DatabaseStatistics",
+    "FractionalEdgeCover",
+    "agm_bound",
+    "agm_exponent",
+    "database_statistics",
+    "fractional_edge_cover",
+]

@@ -1,0 +1,143 @@
+"""Database catalog: the set of named relations a query runs against.
+
+The catalog is the object handed to every join engine and to the accelerator:
+it resolves the relation names mentioned by query atoms to stored
+:class:`~repro.relational.relation.Relation` objects and builds (and caches)
+the trie indexes each engine needs.
+
+For graph workloads the catalog typically contains a single edge relation
+that every atom of the pattern query binds under a different variable
+ordering; :meth:`Database.trie_for_atom` therefore keys its cache on the
+(relation, attribute-order) pair rather than just the relation name.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Sequence, Tuple
+
+from repro.relational.query import Atom, ConjunctiveQuery
+from repro.relational.relation import Relation
+from repro.relational.trie import TrieIndex
+
+
+class Database:
+    """A named collection of relations with on-demand trie indexes."""
+
+    def __init__(self, name: str = "db"):
+        self.name = name
+        self._relations: Dict[str, Relation] = {}
+        self._trie_cache: Dict[Tuple[str, Tuple[str, ...]], TrieIndex] = {}
+
+    # ------------------------------------------------------------------ #
+    # Relation management
+    # ------------------------------------------------------------------ #
+    def add_relation(self, relation: Relation) -> None:
+        """Register ``relation``; its name must be unused."""
+        if relation.name in self._relations:
+            raise KeyError(f"relation {relation.name!r} already exists in {self.name!r}")
+        self._relations[relation.name] = relation
+        self._invalidate(relation.name)
+
+    def replace_relation(self, relation: Relation) -> None:
+        """Register ``relation``, replacing any existing one of the same name."""
+        self._relations[relation.name] = relation
+        self._invalidate(relation.name)
+
+    def relation(self, name: str) -> Relation:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise KeyError(
+                f"relation {name!r} not found in database {self.name!r} "
+                f"(have: {sorted(self._relations)})"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._relations)
+
+    def relation_names(self) -> Tuple[str, ...]:
+        return tuple(self._relations)
+
+    def _invalidate(self, relation_name: str) -> None:
+        stale = [key for key in self._trie_cache if key[0] == relation_name]
+        for key in stale:
+            del self._trie_cache[key]
+
+    # ------------------------------------------------------------------ #
+    # Trie construction
+    # ------------------------------------------------------------------ #
+    def trie(self, relation_name: str, attribute_order: Sequence[str]) -> TrieIndex:
+        """Return (building if needed) the trie of ``relation_name`` in the given order.
+
+        ``attribute_order`` is expressed in the relation's *own* attribute
+        names.  Tries are cached because the same ordering is requested once
+        per engine per experiment.
+        """
+        key = (relation_name, tuple(attribute_order))
+        if key not in self._trie_cache:
+            relation = self.relation(relation_name)
+            self._trie_cache[key] = TrieIndex(relation, attribute_order)
+        return self._trie_cache[key]
+
+    def trie_for_atom(
+        self, atom: Atom, variable_order: Sequence[str]
+    ) -> TrieIndex:
+        """Build the trie an engine needs to scan ``atom`` under ``variable_order``.
+
+        The atom binds query variables to the relation's attributes by
+        position; the trie levels must follow the order in which the *query
+        variables* are eliminated.  This helper translates the global
+        variable order into the per-relation attribute order and returns the
+        corresponding trie.
+        """
+        relation = self.relation(atom.relation)
+        if atom.arity != relation.schema.arity:
+            raise ValueError(
+                f"atom {atom} has arity {atom.arity} but relation "
+                f"{relation.name!r} has arity {relation.schema.arity}"
+            )
+        # Map: query variable -> relation attribute at the bound position.
+        # Repeated variables bind several attributes; they keep atom order.
+        ordered_attributes = []
+        for variable in variable_order:
+            for position, bound in enumerate(atom.variables):
+                if bound == variable:
+                    attribute = relation.schema.attributes[position]
+                    if attribute not in ordered_attributes:
+                        ordered_attributes.append(attribute)
+        if len(ordered_attributes) != relation.schema.arity:
+            missing = [
+                a for a in relation.schema.attributes if a not in ordered_attributes
+            ]
+            raise ValueError(
+                f"variable order {tuple(variable_order)!r} does not cover attributes "
+                f"{missing!r} of atom {atom}"
+            )
+        return self.trie(atom.relation, ordered_attributes)
+
+    # ------------------------------------------------------------------ #
+    # Validation / statistics
+    # ------------------------------------------------------------------ #
+    def validate_query(self, query: ConjunctiveQuery) -> None:
+        """Raise if ``query`` references unknown relations or mismatched arities."""
+        for atom in query.atoms:
+            relation = self.relation(atom.relation)
+            if atom.arity != relation.schema.arity:
+                raise ValueError(
+                    f"atom {atom} has arity {atom.arity}, but relation "
+                    f"{relation.name!r} has arity {relation.schema.arity}"
+                )
+
+    def total_tuples(self) -> int:
+        """Total number of stored tuples across relations."""
+        return sum(r.cardinality for r in self._relations.values())
+
+    def size_in_bytes(self, bytes_per_value: int = 4) -> int:
+        """Approximate raw storage footprint of all relations."""
+        return sum(r.size_in_bytes(bytes_per_value) for r in self._relations.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Database({self.name!r}, relations={sorted(self._relations)})"

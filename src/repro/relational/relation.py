@@ -1,0 +1,164 @@
+"""In-memory relations (tables) of integer tuples.
+
+A :class:`Relation` is the storage-level object everything else is built on:
+the graph edge list is a binary relation, query atoms bind relations to
+variables, tries are built from relations, and the pairwise-join engines
+materialise intermediate relations.
+
+Tuples are stored as plain Python tuples of ints.  The class keeps the tuple
+set deduplicated and offers sorted iteration so that trie construction and
+sort-merge joins do not need to re-sort on every use.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+
+from repro.relational.schema import Schema
+from repro.util.validation import check_type
+
+
+Row = Tuple[int, ...]
+
+
+class Relation:
+    """A named set of fixed-arity integer tuples.
+
+    Parameters
+    ----------
+    name:
+        Relation name (used by queries and the catalog).
+    schema:
+        The relation's :class:`~repro.relational.schema.Schema`.
+    rows:
+        Initial tuples; duplicates are dropped (relations are sets, matching
+        the paper's natural-join semantics).
+    """
+
+    def __init__(self, name: str, schema: Schema, rows: Iterable[Sequence[int]] = ()):
+        check_type("name", name, str)
+        check_type("schema", schema, Schema)
+        self.name = name
+        self.schema = schema
+        self._rows: set = set()
+        self._sorted_cache: List[Row] | None = None
+        for row in rows:
+            self.insert(row)
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    def insert(self, row: Sequence[int]) -> bool:
+        """Insert ``row``; return ``True`` if it was not already present."""
+        if len(row) != self.schema.arity:
+            raise ValueError(
+                f"row {tuple(row)!r} has arity {len(row)}, "
+                f"expected {self.schema.arity} for relation {self.name!r}"
+            )
+        normalized = tuple(int(v) for v in row)
+        if normalized in self._rows:
+            return False
+        self._rows.add(normalized)
+        self._sorted_cache = None
+        return True
+
+    def insert_many(self, rows: Iterable[Sequence[int]]) -> int:
+        """Insert many rows; return the number of new tuples added."""
+        added = 0
+        for row in rows:
+            if self.insert(row):
+                added += 1
+        return added
+
+    # ------------------------------------------------------------------ #
+    # Inspection
+    # ------------------------------------------------------------------ #
+    @property
+    def cardinality(self) -> int:
+        """Number of (distinct) tuples stored."""
+        return len(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __contains__(self, row: Sequence[int]) -> bool:
+        return tuple(row) in self._rows
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.sorted_rows())
+
+    def sorted_rows(self) -> List[Row]:
+        """All tuples in lexicographic order (cached between mutations)."""
+        if self._sorted_cache is None:
+            self._sorted_cache = sorted(self._rows)
+        return self._sorted_cache
+
+    def column(self, attribute: str) -> List[int]:
+        """Sorted distinct values of ``attribute``."""
+        idx = self.schema.index_of(attribute)
+        return sorted({row[idx] for row in self._rows})
+
+    def active_domain(self) -> List[int]:
+        """Sorted distinct values appearing anywhere in the relation."""
+        values = set()
+        for row in self._rows:
+            values.update(row)
+        return sorted(values)
+
+    def size_in_bytes(self, bytes_per_value: int = 4) -> int:
+        """Approximate storage footprint used by the memory models."""
+        return self.cardinality * self.schema.arity * bytes_per_value
+
+    # ------------------------------------------------------------------ #
+    # Relational operations used by the engines and tests
+    # ------------------------------------------------------------------ #
+    def rename(self, name: str, mapping: Dict[str, str]) -> "Relation":
+        """Return a copy with a new name and renamed attributes."""
+        renamed = Relation(name, self.schema.rename(mapping))
+        renamed._rows = set(self._rows)
+        return renamed
+
+    def project(self, attributes: Sequence[str]) -> "Relation":
+        """Return the projection onto ``attributes`` (duplicates removed)."""
+        indexes = [self.schema.index_of(a) for a in attributes]
+        projected = Relation(f"{self.name}_proj", self.schema.project(attributes))
+        projected.insert_many(tuple(row[i] for i in indexes) for row in self._rows)
+        return projected
+
+    def select_equal(self, attribute: str, value: int) -> "Relation":
+        """Return the selection ``attribute == value``."""
+        idx = self.schema.index_of(attribute)
+        selected = Relation(f"{self.name}_sel", self.schema)
+        selected.insert_many(row for row in self._rows if row[idx] == value)
+        return selected
+
+    def reorder(self, attributes: Sequence[str]) -> "Relation":
+        """Return a copy whose columns follow ``attributes`` order.
+
+        The attribute set must be exactly the schema's attribute set; this is
+        used when building a trie whose level order differs from storage
+        order (the CTJ compiler chooses the global variable order, and each
+        relation's trie must present its attributes in that order).
+        """
+        if set(attributes) != set(self.schema.attributes):
+            raise ValueError(
+                f"reorder attributes {tuple(attributes)!r} must be a permutation of "
+                f"{self.schema.attributes!r}"
+            )
+        indexes = [self.schema.index_of(a) for a in attributes]
+        reordered = Relation(self.name, Schema(attributes))
+        reordered.insert_many(tuple(row[i] for i in indexes) for row in self._rows)
+        return reordered
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"Relation(name={self.name!r}, schema={self.schema.attributes}, "
+            f"cardinality={self.cardinality})"
+        )
+
+
+def relation_from_pairs(
+    name: str, attr_a: str, attr_b: str, pairs: Iterable[Tuple[int, int]]
+) -> Relation:
+    """Convenience constructor for binary relations (graph edge lists)."""
+    return Relation(name, Schema((attr_a, attr_b)), pairs)

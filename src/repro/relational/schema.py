@@ -1,0 +1,85 @@
+"""Relation schemas.
+
+A schema describes the attribute names (and ordering) of a relation.  In the
+graph-pattern-matching setting every attribute holds an integer vertex id,
+so schemas do not carry per-attribute types; they exist to give joins a
+well-defined notion of *shared attributes* and to let tries map variable
+positions to trie levels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence, Tuple
+
+from repro.util.validation import check_not_empty, check_unique
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered, duplicate-free list of attribute names.
+
+    Parameters
+    ----------
+    attributes:
+        Attribute names in storage order.  The order matters: it is the order
+        of the trie levels built for the relation (unless a query compiler
+        requests a reordered index).
+    """
+
+    attributes: Tuple[str, ...]
+
+    def __init__(self, attributes: Sequence[str]):
+        check_not_empty("attributes", attributes)
+        check_unique("attributes", attributes)
+        object.__setattr__(self, "attributes", tuple(attributes))
+
+    @property
+    def arity(self) -> int:
+        """Number of attributes in the schema."""
+        return len(self.attributes)
+
+    def index_of(self, attribute: str) -> int:
+        """Position of ``attribute`` within the schema.
+
+        Raises ``KeyError`` when the attribute is not part of the schema so
+        callers can distinguish "absent" from position 0.
+        """
+        try:
+            return self.attributes.index(attribute)
+        except ValueError:
+            raise KeyError(
+                f"attribute {attribute!r} not in schema {self.attributes}"
+            ) from None
+
+    def __contains__(self, attribute: str) -> bool:
+        return attribute in self.attributes
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.attributes)
+
+    def __len__(self) -> int:
+        return len(self.attributes)
+
+    def shared_with(self, other: "Schema") -> Tuple[str, ...]:
+        """Attributes present in both schemas, in *this* schema's order."""
+        return tuple(a for a in self.attributes if a in other)
+
+    def project(self, attributes: Sequence[str]) -> "Schema":
+        """Return a new schema containing only ``attributes`` (in that order)."""
+        for attribute in attributes:
+            if attribute not in self:
+                raise KeyError(
+                    f"cannot project on {attribute!r}: not in schema {self.attributes}"
+                )
+        return Schema(tuple(attributes))
+
+    def rename(self, mapping: dict) -> "Schema":
+        """Return a schema with attributes renamed through ``mapping``.
+
+        Attributes absent from ``mapping`` keep their name.  Renaming is how a
+        single stored relation (e.g. the graph edge list) is used under
+        different variable bindings in a query (e.g. ``G(x, y)`` and
+        ``G(y, z)``).
+        """
+        return Schema(tuple(mapping.get(a, a) for a in self.attributes))

@@ -1,0 +1,161 @@
+"""A minimal SQL front end for natural equi-join queries.
+
+The paper's running example (Figure 1) expresses the workload as SQL::
+
+    SELECT *
+    FROM Posts as R, Likes as S, Follows as T
+    WHERE R.postID = S.post and S.user = T.followed
+
+TrieJax itself consumes queries compiled by the CTJ compiler, which operates
+on conjunctive queries.  This module provides the small translation step from
+SQL text of the above shape (``SELECT *``/``SELECT cols``, ``FROM`` with
+aliases, ``WHERE`` restricted to a conjunction of equality predicates between
+columns) into a :class:`~repro.relational.query.ConjunctiveQuery`.
+
+The translation needs the relation schemas to know each table's full column
+list, so it takes the target :class:`~repro.relational.catalog.Database`.
+Equality predicates induce an equivalence relation over (alias, column)
+pairs; each equivalence class becomes one join variable.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple
+
+from repro.relational.catalog import Database
+from repro.relational.query import Atom, ConjunctiveQuery
+
+
+class SQLSyntaxError(ValueError):
+    """Raised when a SQL string is outside the supported equi-join fragment."""
+
+
+_SELECT_RE = re.compile(
+    r"^\s*select\s+(?P<cols>.*?)\s+from\s+(?P<tables>.*?)"
+    r"(?:\s+where\s+(?P<where>.*?))?\s*;?\s*$",
+    re.IGNORECASE | re.DOTALL,
+)
+_TABLE_RE = re.compile(
+    r"^\s*(?P<table>[A-Za-z_][A-Za-z0-9_]*)(?:\s+(?:as\s+)?(?P<alias>[A-Za-z_][A-Za-z0-9_]*))?\s*$",
+    re.IGNORECASE,
+)
+_EQ_RE = re.compile(
+    r"^\s*(?P<lhs_alias>[A-Za-z_][A-Za-z0-9_]*)\.(?P<lhs_col>[A-Za-z_][A-Za-z0-9_]*)\s*=\s*"
+    r"(?P<rhs_alias>[A-Za-z_][A-Za-z0-9_]*)\.(?P<rhs_col>[A-Za-z_][A-Za-z0-9_]*)\s*$"
+)
+
+
+class _UnionFind:
+    """Union-find over (alias, column) pairs to build join variables."""
+
+    def __init__(self) -> None:
+        self._parent: Dict[Tuple[str, str], Tuple[str, str]] = {}
+
+    def find(self, item: Tuple[str, str]) -> Tuple[str, str]:
+        parent = self._parent.setdefault(item, item)
+        if parent != item:
+            root = self.find(parent)
+            self._parent[item] = root
+            return root
+        return item
+
+    def union(self, a: Tuple[str, str], b: Tuple[str, str]) -> None:
+        root_a, root_b = self.find(a), self.find(b)
+        if root_a != root_b:
+            self._parent[root_b] = root_a
+
+
+def parse_sql_join(sql: str, database: Database, query_name: str = "sql_query") -> ConjunctiveQuery:
+    """Translate an equi-join ``SELECT`` statement into a conjunctive query.
+
+    Parameters
+    ----------
+    sql:
+        The SQL text (``SELECT ... FROM ... [WHERE ...]``).
+    database:
+        Catalog used to resolve each table's column list.
+    query_name:
+        Name given to the resulting conjunctive query.
+    """
+    match = _SELECT_RE.match(sql)
+    if not match:
+        raise SQLSyntaxError(f"unsupported SQL statement: {sql!r}")
+
+    # FROM clause: aliases -> table names (alias defaults to the table name).
+    aliases: List[Tuple[str, str]] = []
+    for table_text in match.group("tables").split(","):
+        table_match = _TABLE_RE.match(table_text)
+        if not table_match:
+            raise SQLSyntaxError(f"unsupported FROM item: {table_text!r}")
+        table = table_match.group("table")
+        alias = table_match.group("alias") or table
+        aliases.append((alias, table))
+    alias_to_table = dict(aliases)
+    if len(alias_to_table) != len(aliases):
+        raise SQLSyntaxError("duplicate table aliases in FROM clause")
+
+    # WHERE clause: conjunction of column equalities.
+    union_find = _UnionFind()
+    where_text = match.group("where")
+    if where_text:
+        for predicate in re.split(r"\s+and\s+", where_text, flags=re.IGNORECASE):
+            eq_match = _EQ_RE.match(predicate)
+            if not eq_match:
+                raise SQLSyntaxError(
+                    f"only column-equality predicates are supported, got {predicate!r}"
+                )
+            lhs = (eq_match.group("lhs_alias"), eq_match.group("lhs_col"))
+            rhs = (eq_match.group("rhs_alias"), eq_match.group("rhs_col"))
+            for alias, _column in (lhs, rhs):
+                if alias not in alias_to_table:
+                    raise SQLSyntaxError(f"unknown alias {alias!r} in WHERE clause")
+            union_find.union(lhs, rhs)
+
+    # Assign a variable name to every (alias, column): joined columns share a
+    # variable, others get a unique one.
+    variable_names: Dict[Tuple[str, str], str] = {}
+    class_names: Dict[Tuple[str, str], str] = {}
+    for alias, table in aliases:
+        schema = database.relation(table).schema
+        for column in schema.attributes:
+            item = (alias, column)
+            root = union_find.find(item)
+            if root not in class_names:
+                class_names[root] = f"v_{root[0]}_{root[1]}"
+            variable_names[item] = class_names[root]
+
+    atoms = []
+    for alias, table in aliases:
+        schema = database.relation(table).schema
+        variables = tuple(variable_names[(alias, column)] for column in schema.attributes)
+        atoms.append(Atom(table, variables))
+
+    # Head: SELECT * keeps every variable; otherwise keep the named columns.
+    cols_text = match.group("cols").strip()
+    if cols_text == "*":
+        head_variables: List[str] = []
+        for atom in atoms:
+            for variable in atom.variables:
+                if variable not in head_variables:
+                    head_variables.append(variable)
+    else:
+        head_variables = []
+        for column_text in cols_text.split(","):
+            column_text = column_text.strip()
+            eq_match = re.match(
+                r"^(?P<alias>[A-Za-z_][A-Za-z0-9_]*)\.(?P<col>[A-Za-z_][A-Za-z0-9_]*)$",
+                column_text,
+            )
+            if not eq_match:
+                raise SQLSyntaxError(
+                    f"SELECT list items must be alias.column or *, got {column_text!r}"
+                )
+            item = (eq_match.group("alias"), eq_match.group("col"))
+            if item not in variable_names:
+                raise SQLSyntaxError(f"unknown column {column_text!r} in SELECT list")
+            variable = variable_names[item]
+            if variable not in head_variables:
+                head_variables.append(variable)
+
+    return ConjunctiveQuery(query_name, head_variables, atoms)

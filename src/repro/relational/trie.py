@@ -1,0 +1,280 @@
+"""Trie indexes over relations.
+
+CTJ, LFTJ and the TrieJax accelerator all operate on *tries*: one level per
+attribute, siblings sorted, every root-to-leaf path a tuple of the relation
+(Section 2.2.1 of the paper).  This module builds tries in the flat physical
+layout that TrieJax borrows from EmptyHeaded (Figure 6):
+
+* ``values[level]`` — one contiguous array per level holding the node values.
+  Level 0 stores the distinct values of the first attribute; level ``i``
+  stores, for every node of level ``i-1`` in order, that node's (sorted)
+  children concatenated together.
+* ``child_ranges[level]`` — for every node in ``values[level]`` the half-open
+  index range of its children within ``values[level + 1]``.  Physically this
+  is stored as an array of ``len(values[level]) + 1`` offsets (like a CSR
+  row-pointer array); the helper :meth:`TrieIndex.children_range` hides that
+  detail.
+
+The flat layout is what the accelerator's Midwife unit reads ("extract the
+child range of node ``i``") and what the LUB unit binary-searches, so the
+same object serves both the software engines and the hardware model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from repro.relational.relation import Relation
+from repro.util.sorted_ops import is_strictly_sorted
+
+
+class TrieIndex:
+    """A flat (EmptyHeaded-layout) trie over a relation.
+
+    Parameters
+    ----------
+    relation:
+        Source relation.
+    attribute_order:
+        Order in which the relation's attributes become trie levels.  Must be
+        a permutation of the relation's schema.  Defaults to the schema
+        order.
+    """
+
+    def __init__(self, relation: Relation, attribute_order: Sequence[str] | None = None):
+        if attribute_order is None:
+            attribute_order = relation.schema.attributes
+        if set(attribute_order) != set(relation.schema.attributes):
+            raise ValueError(
+                f"attribute_order {tuple(attribute_order)!r} must be a permutation of "
+                f"{relation.schema.attributes!r}"
+            )
+        self.relation_name = relation.name
+        self.attribute_order: Tuple[str, ...] = tuple(attribute_order)
+        self._build(relation)
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def _build(self, relation: Relation) -> None:
+        order_indexes = [relation.schema.index_of(a) for a in self.attribute_order]
+        rows = sorted(
+            tuple(row[i] for i in order_indexes) for row in relation.sorted_rows()
+        )
+        arity = len(self.attribute_order)
+        values: List[List[int]] = [[] for _ in range(arity)]
+        # offsets[level][k] is the start index (in values[level+1]) of the
+        # children of node k at `level`; one extra entry holds the total.
+        offsets: List[List[int]] = [[0] for _ in range(max(arity - 1, 0))]
+
+        if not rows:
+            self._values = [tuple() for _ in range(arity)]
+            self._offsets = [tuple([0]) for _ in range(max(arity - 1, 0))]
+            self._num_tuples = 0
+            return
+
+        # Build level by level.  `groups` holds, for the current level, the
+        # list of (start, end) row ranges that share the same prefix.
+        groups: List[Tuple[int, int]] = [(0, len(rows))]
+        for level in range(arity):
+            next_groups: List[Tuple[int, int]] = []
+            for start, end in groups:
+                # Distinct values of this level within the prefix group.
+                pos = start
+                while pos < end:
+                    value = rows[pos][level]
+                    run_end = pos
+                    while run_end < end and rows[run_end][level] == value:
+                        run_end += 1
+                    values[level].append(value)
+                    if level < arity - 1:
+                        next_groups.append((pos, run_end))
+                    pos = run_end
+            groups = next_groups
+            if level < arity - 1:
+                # Recompute offsets: number of distinct child values per node.
+                counts = []
+                for child_start, child_end in groups:
+                    distinct = 0
+                    prev = None
+                    for row_idx in range(child_start, child_end):
+                        v = rows[row_idx][level + 1]
+                        if v != prev:
+                            distinct += 1
+                            prev = v
+                    counts.append(distinct)
+                # counts[k] corresponds to the k-th node appended at `level`
+                # in this pass, which is exactly values[level] order.
+                running = 0
+                offsets[level] = [0]
+                for count in counts:
+                    running += count
+                    offsets[level].append(running)
+
+        self._values = [tuple(level_values) for level_values in values]
+        self._offsets = [tuple(level_offsets) for level_offsets in offsets]
+        self._num_tuples = len(rows)
+        self._check_invariants()
+
+    def _check_invariants(self) -> None:
+        for level in range(self.num_levels - 1):
+            if len(self._offsets[level]) != len(self._values[level]) + 1:
+                raise AssertionError(
+                    f"trie {self.relation_name}: offsets length mismatch at level {level}"
+                )
+            if self._offsets[level][-1] != len(self._values[level + 1]):
+                raise AssertionError(
+                    f"trie {self.relation_name}: child offsets do not cover level {level + 1}"
+                )
+        if self.num_levels:
+            if not is_strictly_sorted(self._values[0]):
+                raise AssertionError(
+                    f"trie {self.relation_name}: root level not strictly sorted"
+                )
+
+    # ------------------------------------------------------------------ #
+    # Structure queries (used by joins and the accelerator)
+    # ------------------------------------------------------------------ #
+    @property
+    def num_levels(self) -> int:
+        """Number of trie levels (the relation's arity)."""
+        return len(self._values)
+
+    @property
+    def num_tuples(self) -> int:
+        """Number of root-to-leaf paths (i.e. tuples in the relation)."""
+        return self._num_tuples
+
+    def attribute_at(self, level: int) -> str:
+        """Attribute stored at ``level``."""
+        return self.attribute_order[level]
+
+    def level_of(self, attribute: str) -> int:
+        """Level at which ``attribute`` is stored."""
+        try:
+            return self.attribute_order.index(attribute)
+        except ValueError:
+            raise KeyError(
+                f"attribute {attribute!r} not in trie over {self.attribute_order}"
+            ) from None
+
+    def level_values(self, level: int) -> Sequence[int]:
+        """The flat value array of ``level``."""
+        return self._values[level]
+
+    def level_size(self, level: int) -> int:
+        """Number of nodes stored at ``level``."""
+        return len(self._values[level])
+
+    def root_range(self) -> Tuple[int, int]:
+        """Index range of the root level's nodes (always the whole array)."""
+        return (0, len(self._values[0])) if self._values else (0, 0)
+
+    def children_range(self, level: int, index: int) -> Tuple[int, int]:
+        """Half-open index range (into level ``level+1``) of node ``index``'s children.
+
+        This is exactly the operation performed by the Midwife unit: two reads
+        from the child-ranges array.
+        """
+        if level >= self.num_levels - 1:
+            raise ValueError(
+                f"level {level} has no child level in a {self.num_levels}-level trie"
+            )
+        offsets = self._offsets[level]
+        if not (0 <= index < len(offsets) - 1):
+            raise IndexError(
+                f"node index {index} out of range for level {level} "
+                f"(size {len(offsets) - 1})"
+            )
+        return offsets[index], offsets[index + 1]
+
+    def value_at(self, level: int, index: int) -> int:
+        """Value of node ``index`` at ``level``."""
+        return self._values[level][index]
+
+    def child_offsets(self, level: int) -> Sequence[int]:
+        """The raw CSR offsets array of ``level`` (length ``level_size + 1``)."""
+        return self._offsets[level]
+
+    # ------------------------------------------------------------------ #
+    # Enumeration helpers (used by tests and the naive engine)
+    # ------------------------------------------------------------------ #
+    def paths(self) -> Iterator[Tuple[int, ...]]:
+        """Yield every root-to-leaf path as a tuple (i.e. every stored row)."""
+        if not self._values or not self._values[0]:
+            return
+        yield from self._paths_from(0, self.root_range(), ())
+
+    def _paths_from(
+        self, level: int, index_range: Tuple[int, int], prefix: Tuple[int, ...]
+    ) -> Iterator[Tuple[int, ...]]:
+        start, end = index_range
+        for index in range(start, end):
+            value = self._values[level][index]
+            if level == self.num_levels - 1:
+                yield prefix + (value,)
+            else:
+                yield from self._paths_from(
+                    level + 1, self.children_range(level, index), prefix + (value,)
+                )
+
+    def to_relation(self) -> Relation:
+        """Rebuild a relation from the trie (round-trip used in tests)."""
+        from repro.relational.schema import Schema
+
+        relation = Relation(self.relation_name, Schema(self.attribute_order))
+        relation.insert_many(self.paths())
+        return relation
+
+    def memory_words(self) -> int:
+        """Total number of machine words the flat layout occupies.
+
+        Values and CSR offsets each count as one word; this is what the
+        memory models use to size the index footprint.
+        """
+        return sum(len(v) for v in self._values) + sum(len(o) for o in self._offsets)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"TrieIndex({self.relation_name!r}, order={self.attribute_order}, "
+            f"tuples={self._num_tuples})"
+        )
+
+
+class TrieSet:
+    """A collection of tries for one query, keyed by atom identity.
+
+    A query may bind the same stored relation twice with different variable
+    orders (e.g. ``G(x, y)`` and ``G(y, z)`` in a cycle query); each binding
+    gets its own trie because the level order differs.
+    """
+
+    def __init__(self) -> None:
+        self._tries: Dict[str, TrieIndex] = {}
+
+    def add(self, key: str, trie: TrieIndex) -> None:
+        if key in self._tries:
+            raise KeyError(f"trie key {key!r} already registered")
+        self._tries[key] = trie
+
+    def get(self, key: str) -> TrieIndex:
+        try:
+            return self._tries[key]
+        except KeyError:
+            raise KeyError(f"no trie registered under key {key!r}") from None
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._tries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._tries)
+
+    def items(self):
+        return self._tries.items()
+
+    def __len__(self) -> int:
+        return len(self._tries)
+
+    def total_memory_words(self) -> int:
+        """Combined flat-layout footprint of all registered tries."""
+        return sum(t.memory_words() for t in self._tries.values())

@@ -1,0 +1,49 @@
+"""Shared low-level utilities for the TrieJax reproduction.
+
+The modules in this package deliberately contain only small, dependency-free
+helpers that are used by several subsystems:
+
+``sorted_ops``
+    Binary-search / lowest-upper-bound / galloping-search primitives on sorted
+    integer arrays.  These are the software analogue of the accelerator's LUB
+    unit and are also used by the software join engines.
+
+``validation``
+    Argument-checking helpers that raise consistent, descriptive exceptions.
+
+``rng``
+    Deterministic random-number helpers so that every dataset generator and
+    scheduler in the repository is reproducible from an explicit seed.
+"""
+
+from repro.util.sorted_ops import (
+    lowest_upper_bound,
+    binary_search,
+    galloping_search,
+    intersect_sorted,
+    intersect_many,
+    is_strictly_sorted,
+)
+from repro.util.validation import (
+    check_positive,
+    check_non_negative,
+    check_in_range,
+    check_type,
+    check_not_empty,
+)
+from repro.util.rng import DeterministicRNG
+
+__all__ = [
+    "lowest_upper_bound",
+    "binary_search",
+    "galloping_search",
+    "intersect_sorted",
+    "intersect_many",
+    "is_strictly_sorted",
+    "check_positive",
+    "check_non_negative",
+    "check_in_range",
+    "check_type",
+    "check_not_empty",
+    "DeterministicRNG",
+]

@@ -1,0 +1,55 @@
+"""Argument validation helpers.
+
+Every public constructor in the repository validates its inputs through these
+helpers so that error messages are uniform and tests can assert on them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sized, Type
+
+
+def check_positive(name: str, value: float) -> None:
+    """Raise ``ValueError`` unless ``value`` is strictly positive."""
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+def check_non_negative(name: str, value: float) -> None:
+    """Raise ``ValueError`` unless ``value`` is zero or positive."""
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+
+
+def check_in_range(name: str, value: float, lo: float, hi: float) -> None:
+    """Raise ``ValueError`` unless ``lo <= value <= hi``."""
+    if not (lo <= value <= hi):
+        raise ValueError(f"{name} must be in [{lo}, {hi}], got {value!r}")
+
+
+def check_type(name: str, value: Any, expected: Type | tuple) -> None:
+    """Raise ``TypeError`` unless ``value`` is an instance of ``expected``."""
+    if not isinstance(value, expected):
+        expected_name = (
+            expected.__name__
+            if isinstance(expected, type)
+            else " or ".join(t.__name__ for t in expected)
+        )
+        raise TypeError(
+            f"{name} must be of type {expected_name}, got {type(value).__name__}"
+        )
+
+
+def check_not_empty(name: str, value: Sized) -> None:
+    """Raise ``ValueError`` unless ``value`` has at least one element."""
+    if len(value) == 0:
+        raise ValueError(f"{name} must not be empty")
+
+
+def check_unique(name: str, values: Iterable[Any]) -> None:
+    """Raise ``ValueError`` when ``values`` contains duplicates."""
+    seen = set()
+    for value in values:
+        if value in seen:
+            raise ValueError(f"{name} contains duplicate entry {value!r}")
+        seen.add(value)

@@ -1,0 +1,99 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graphs import community_graph, write_snap_edge_list
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "cycle3"])
+        assert args.query == "cycle3"
+        assert args.dataset == "bitcoin"
+        assert args.engine == "triejax"
+        assert not args.count_only
+
+    def test_experiment_name_restricted(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "figure99"])
+
+
+class TestCommands:
+    def test_datasets_listing(self, capsys):
+        assert main(["datasets"]) == 0
+        output = capsys.readouterr().out
+        assert "ca-GrQc" in output and "wiki-Vote" in output
+
+    def test_queries_listing(self, capsys):
+        assert main(["queries"]) == 0
+        output = capsys.readouterr().out
+        assert "clique4" in output and "diamond" in output
+
+    def test_run_on_triejax(self, capsys):
+        exit_code = main(
+            ["run", "cycle3", "--dataset", "grqc", "--scale", "0.01", "--threads", "8",
+             "--show-results", "3"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "matches:" in output
+        assert "energy breakdown" in output
+
+    def test_run_count_only(self, capsys):
+        assert (
+            main(["run", "cycle3", "--dataset", "grqc", "--scale", "0.01", "--count-only"])
+            == 0
+        )
+        assert "matches:" in capsys.readouterr().out
+
+    def test_run_on_software_engine(self, capsys):
+        assert (
+            main(["run", "path3", "--dataset", "grqc", "--scale", "0.01", "--engine", "ctj"])
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "intermediate results" in output
+
+    def test_run_on_edge_list_file(self, tmp_path, capsys):
+        graph = community_graph(30, 120, seed=3)
+        path = str(tmp_path / "graph.txt")
+        write_snap_edge_list(graph, path)
+        assert main(["run", "cycle3", "--edge-list", path, "--engine", "lftj"]) == 0
+        assert "matches:" in capsys.readouterr().out
+
+    def test_run_unknown_dataset_errors(self):
+        with pytest.raises(SystemExit):
+            main(["run", "cycle3", "--dataset", "not-a-dataset"])
+
+    def test_experiment_table1(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        assert "path3" in capsys.readouterr().out
+
+    def test_experiment_with_subset(self, capsys):
+        exit_code = main(
+            [
+                "experiment",
+                "figure18",
+                "--scale",
+                "0.005",
+                "--datasets",
+                "bitcoin",
+                "--queries",
+                "cycle4",
+            ]
+        )
+        assert exit_code == 0
+        assert "figure18" in capsys.readouterr().out
+
+    def test_compare_command(self, capsys):
+        exit_code = main(
+            ["compare", "cycle3", "--dataset", "bitcoin", "--scale", "0.005"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "triejax" in output and "q100" in output and "ctj" in output

@@ -1,0 +1,152 @@
+"""Tests for the CTJ query compiler: variable orders, atom bindings, cache structure."""
+
+import pytest
+
+from repro.graphs import pattern_query
+from repro.joins import CacheSpec, JoinPlan, QueryCompiler, compile_query
+from repro.relational import Atom, ConjunctiveQuery
+
+
+class TestVariableOrder:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("path3", ("x", "y", "z")),
+            ("path4", ("x", "y", "z", "w")),
+            ("cycle3", ("x", "y", "z")),
+            ("cycle4", ("x", "y", "z", "w")),
+            ("clique4", ("x", "y", "z", "w")),
+        ],
+    )
+    def test_pattern_queries_get_paper_order(self, name, expected):
+        plan = compile_query(pattern_query(name))
+        assert plan.variable_order == expected
+
+    def test_explicit_order_override(self):
+        query = pattern_query("cycle3")
+        plan = compile_query(query, variable_order=("z", "y", "x"))
+        assert plan.variable_order == ("z", "y", "x")
+
+    def test_explicit_order_must_cover_variables(self):
+        with pytest.raises(ValueError):
+            compile_query(pattern_query("cycle3"), variable_order=("x", "y"))
+
+    def test_order_stays_connected(self):
+        # Star-shaped query: a joins with b, c, d through separate atoms.
+        query = ConjunctiveQuery(
+            "star",
+            ("a", "b", "c", "d"),
+            [Atom("R", ("a", "b")), Atom("S", ("a", "c")), Atom("T", ("a", "d"))],
+        )
+        order = QueryCompiler().choose_variable_order(query)
+        assert order[0] == "a"  # first-appearance seed
+        # Every subsequent variable shares an atom with an earlier one.
+        adjacency = query.variable_cooccurrence()
+        for index in range(1, len(order)):
+            assert any(previous in adjacency[order[index]] for previous in order[:index])
+
+
+class TestAtomBindings:
+    def test_levels_follow_global_order(self):
+        plan = compile_query(pattern_query("cycle3"))
+        for binding in plan.atom_bindings:
+            levels = sorted(binding.variable_levels.values())
+            assert levels == list(range(binding.depth))
+        # The closing atom E(z, x) sees x before z in the global order, so x
+        # is its level-0 variable.
+        closing = plan.atom_bindings[2]
+        assert closing.atom.variables == ("z", "x")
+        assert closing.level_of("x") == 0
+        assert closing.level_of("z") == 1
+        assert closing.variable_at_level(0) == "x"
+
+    def test_variable_at_level_unknown(self):
+        plan = compile_query(pattern_query("path3"))
+        with pytest.raises(KeyError):
+            plan.atom_bindings[0].variable_at_level(7)
+
+    def test_trie_keys_unique_per_atom(self):
+        plan = compile_query(pattern_query("clique4"))
+        keys = [binding.trie_key for binding in plan.atom_bindings]
+        assert len(set(keys)) == len(keys)
+
+    def test_repeated_variable_atom_rejected(self):
+        query = ConjunctiveQuery("loop", ("x",), [Atom("E", ("x", "x"))])
+        with pytest.raises(ValueError, match="repeats a variable"):
+            compile_query(query)
+
+
+class TestCacheStructure:
+    def test_path4_caches_z_keyed_by_y(self):
+        """The paper's running example: Path-4 caches z keyed by y (Figure 3)."""
+        plan = compile_query(pattern_query("path4"))
+        spec = plan.cache_spec_for("z")
+        assert spec is not None
+        assert spec.key_variables == ("y",)
+        assert "x" in spec.reuse_variables
+
+    def test_cycle4_caches_z(self):
+        plan = compile_query(pattern_query("cycle4"))
+        assert plan.uses_cache
+        spec = plan.cache_spec_for("z")
+        assert spec is not None and spec.key_variables == ("y",)
+
+    def test_cycle3_and_clique4_cache_nothing(self):
+        """Paper Section 4.4: no valid intermediate-result caches for these queries."""
+        for name in ("cycle3", "clique4"):
+            plan = compile_query(pattern_query(name))
+            assert not plan.uses_cache
+            assert plan.cache_specs == ()
+
+    def test_first_variable_never_cached(self):
+        for name in ("path3", "path4", "cycle3", "cycle4", "clique4"):
+            plan = compile_query(pattern_query(name))
+            assert plan.cache_spec_for(plan.variable_order[0]) is None
+
+    def test_caching_disabled_compiler(self):
+        plan = compile_query(pattern_query("path4"), enable_caching=False)
+        assert not plan.uses_cache
+
+    def test_cache_key_is_proper_subset_of_earlier_variables(self):
+        for name in ("path3", "path4", "cycle4"):
+            plan = compile_query(pattern_query(name))
+            for spec in plan.cache_specs:
+                depth = plan.depth_of(spec.cached_variable)
+                earlier = set(plan.variable_order[:depth])
+                assert set(spec.key_variables) < earlier
+                assert set(spec.key_variables) | set(spec.reuse_variables) == earlier
+
+
+class TestJoinPlan:
+    def test_plan_validation(self):
+        query = pattern_query("path3")
+        compiler = QueryCompiler()
+        bindings = compiler.bind_atoms(query, ("x", "y", "z"))
+        with pytest.raises(ValueError):
+            JoinPlan(query, ("x", "y"), bindings)
+        with pytest.raises(ValueError):
+            JoinPlan(query, ("x", "y", "z"), bindings[:1])
+
+    def test_depth_and_lookup_helpers(self):
+        plan = compile_query(pattern_query("cycle4"))
+        assert plan.num_variables == 4
+        assert plan.depth_of("w") == 3
+        assert plan.variable_at(0) == "x"
+        assert len(plan.bindings_with("x")) == 2
+        with pytest.raises(KeyError):
+            plan.depth_of("q")
+
+    def test_describe_mentions_cache_state(self):
+        cached_plan = compile_query(pattern_query("path4"))
+        uncached_plan = compile_query(pattern_query("clique4"))
+        assert "cache:" in cached_plan.describe()
+        assert "none" in uncached_plan.describe()
+
+    def test_compile_and_validate_checks_database(self, small_community_db):
+        compiler = QueryCompiler()
+        plan = compiler.compile_and_validate(pattern_query("path3"), small_community_db)
+        assert plan.num_variables == 3
+        with pytest.raises(KeyError):
+            compiler.compile_and_validate(
+                pattern_query("path3", edge_relation="missing"), small_community_db
+            )
