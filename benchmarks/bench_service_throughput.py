@@ -1,0 +1,118 @@
+"""Service throughput: queries/sec through the serving subsystem.
+
+The benchmark drives :class:`repro.service.QueryService` with the seeded
+mixed workload the ISSUE's acceptance scenario describes — ≥100 pattern
+queries over two engine backends, half of them α-renamed so the plan cache's
+canonicalization is on the measured path — and reports:
+
+* host wall-clock throughput (queries/sec) as the pytest-benchmark number;
+* the service's own virtual-time metrics (latency, queue wait, cache hit
+  rates) in ``extra_info`` and on stdout, so regressions in reuse behaviour
+  are visible next to the raw throughput.
+
+All randomness derives from the harness seed (``REPRO_BENCH_SEED``, see
+``conftest.py``), so the workload and the admission lottery are identical
+run-to-run.
+"""
+
+from repro.service import (
+    QueryService,
+    WorkloadSpec,
+    generate_requests,
+    run_workload,
+    workload_database,
+)
+
+#: Stream length: comfortably past the acceptance floor of 100 queries.
+NUM_QUERIES = 150
+
+#: Backends the service rotates through (one cache-less, one caching WCOJ).
+BACKENDS = ("lftj", "ctj")
+
+
+def test_service_throughput_mixed_workload(benchmark, bench_seed, bench_rng):
+    database = workload_database(
+        num_vertices=60, num_edges=300, seed=bench_rng.fork(1).seed
+    )
+    spec = WorkloadSpec(num_queries=NUM_QUERIES, mode="mixed", rename_fraction=0.5)
+    requests = generate_requests(spec, seed=bench_rng.fork(2).seed)
+
+    def serve_stream():
+        service = QueryService(
+            database, backends=BACKENDS, max_in_flight=4, seed=bench_seed
+        )
+        outcomes = run_workload(service, requests)
+        return service, outcomes
+
+    service, outcomes = benchmark.pedantic(serve_stream, rounds=1, iterations=1)
+
+    assert len(outcomes) == NUM_QUERIES
+    assert set(service.metrics.by_backend()) == set(BACKENDS)
+
+    elapsed = benchmark.stats.stats.mean
+    queries_per_sec = NUM_QUERIES / elapsed
+    print()
+    print(f"throughput: {queries_per_sec:.1f} queries/sec ({elapsed:.3f}s wall)")
+    print(service.report())
+
+    benchmark.extra_info["queries_per_sec"] = round(queries_per_sec, 1)
+    benchmark.extra_info["result_cache_hit_rate"] = round(
+        service.metrics.result_cache_hit_rate(), 3
+    )
+    benchmark.extra_info["plan_cache_hit_rate"] = round(
+        service.metrics.plan_cache_hit_rate(), 3
+    )
+    benchmark.extra_info["compiles"] = service.metrics.compiles()
+    benchmark.extra_info["virtual_makespan"] = round(service.metrics.makespan, 1)
+
+    # Reuse sanity: five distinct patterns → five compilations, everything
+    # else served from the plan or result cache.
+    assert service.metrics.compiles() == len(WorkloadSpec().queries)
+    assert service.metrics.result_cache_hit_rate() > 0.5
+
+
+def test_service_throughput_no_result_reuse(benchmark, bench_seed, bench_rng):
+    """Worst case for the result cache: the catalog mutates between requests.
+
+    Every request is preceded by an edge insertion, so each query misses the
+    result cache and the plan cache carries all of the reuse.  This bounds
+    the benefit of result caching from below and keeps a tracked number on
+    the plan-cache-only path.
+    """
+    database = workload_database(
+        num_vertices=60, num_edges=300, seed=bench_rng.fork(1).seed
+    )
+    spec = WorkloadSpec(
+        num_queries=60, mode="closed", rename_fraction=0.5, queries=("path3", "cycle3")
+    )
+    requests = generate_requests(spec, seed=bench_rng.fork(2).seed)
+    edge_rng = bench_rng.fork(3)
+    fresh_edges = [
+        (1000 + edge_rng.randint(0, 400), 1000 + edge_rng.randint(0, 400))
+        for _ in requests
+    ]
+
+    def serve_with_mutations():
+        service = QueryService(
+            database, backends=("ctj",), max_in_flight=2, seed=bench_seed
+        )
+        for request, edge in zip(requests, fresh_edges):
+            service.insert_tuples("E", [edge])
+            service.submit(request.query, priority=request.priority)
+            service.drain()
+        return service
+
+    service = benchmark.pedantic(serve_with_mutations, rounds=1, iterations=1)
+
+    assert service.metrics.completed == len(requests)
+    # Mutations invalidate results; plans survive and are reused.
+    assert service.metrics.result_cache_hit_rate() == 0.0
+    assert service.metrics.plan_cache_hit_rate() > 0.9
+
+    elapsed = benchmark.stats.stats.mean
+    print()
+    print(f"throughput under mutation: {len(requests) / elapsed:.1f} queries/sec")
+    benchmark.extra_info["queries_per_sec"] = round(len(requests) / elapsed, 1)
+    benchmark.extra_info["plan_cache_hit_rate"] = round(
+        service.metrics.plan_cache_hit_rate(), 3
+    )

@@ -24,6 +24,11 @@ stack described in the paper in pure Python:
 ``repro.eval``
     The experiment harness that regenerates every table and figure of the
     paper's evaluation.
+``repro.service``
+    The query-serving subsystem: a :class:`~repro.service.QueryService`
+    facade with plan/result caches keyed on canonical query signatures,
+    seeded admission control with priority classes, pluggable engine
+    backends and a workload driver for open/closed-loop query streams.
 
 Quick start::
 

@@ -9,19 +9,25 @@ The CLI exposes the library's main entry points without writing any Python::
     python -m repro run path4 --edge-list my_graph.txt --engine ctj
     python -m repro experiment figure14 --scale 0.01
     python -m repro compare cycle4 --dataset bitcoin --scale 0.01
+    python -m repro workload --dataset grqc --num-queries 200 --backends lftj ctj
+    python -m repro version
 
 ``run`` executes one pattern query either on the TrieJax accelerator model
 (default) or on one of the software engines; ``experiment`` regenerates one
 of the paper's tables/figures; ``compare`` pits TrieJax against the four
-baseline systems on a single workload.
+baseline systems on a single workload; ``workload`` serves a seeded stream
+of mixed queries through the :mod:`repro.service` subsystem and prints the
+service report (latencies, queue waits, cache hit rates).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional, Sequence
 
+import repro
 from repro.baselines import default_baselines
 from repro.core import TrieJaxAccelerator, TrieJaxConfig
 from repro.eval import EXPERIMENT_REGISTRY, ExperimentContext, format_table
@@ -37,6 +43,13 @@ from repro.graphs import (
     table2_rows,
 )
 from repro.joins import CachedTrieJoin, GenericJoin, LeapfrogTrieJoin, PairwiseJoin
+from repro.service import (
+    BACKEND_NAMES,
+    QueryService,
+    WorkloadSpec,
+    generate_requests,
+    run_workload,
+)
 
 #: Software engines selectable from the command line.
 _ENGINES = {
@@ -53,10 +66,14 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="TrieJax reproduction: WCOJ graph pattern matching and its accelerator model.",
     )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {repro.__version__}"
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser("datasets", help="list the Table 2 datasets")
     subparsers.add_parser("queries", help="list the available pattern queries")
+    subparsers.add_parser("version", help="print the package version")
 
     run_parser = subparsers.add_parser("run", help="run one pattern query")
     run_parser.add_argument("query", help="pattern name (e.g. cycle3, clique4, diamond)")
@@ -97,6 +114,46 @@ def build_parser() -> argparse.ArgumentParser:
     compare_parser.add_argument("query")
     compare_parser.add_argument("--dataset", default="bitcoin")
     compare_parser.add_argument("--scale", type=float, default=0.01)
+
+    workload_parser = subparsers.add_parser(
+        "workload", help="serve a seeded query stream through the service subsystem"
+    )
+    workload_parser.add_argument("--dataset", default="bitcoin", help="Table 2 dataset name")
+    workload_parser.add_argument("--scale", type=float, default=0.01, help="dataset scale (0-1]")
+    workload_parser.add_argument(
+        "--edge-list", default=None, help="serve a SNAP edge-list file instead of a dataset"
+    )
+    workload_parser.add_argument(
+        "--num-queries", type=int, default=100, help="stream length"
+    )
+    workload_parser.add_argument(
+        "--queries", nargs="+", default=None, help="subset of pattern queries to draw from"
+    )
+    workload_parser.add_argument(
+        "--backends",
+        nargs="+",
+        default=["lftj", "ctj"],
+        choices=sorted(BACKEND_NAMES),
+        help="execution backends the service rotates through",
+    )
+    workload_parser.add_argument(
+        "--mode",
+        default="mixed",
+        choices=["closed", "open", "mixed"],
+        help="arrival discipline of the stream",
+    )
+    workload_parser.add_argument(
+        "--arrival-rate", type=float, default=0.001, help="open-loop arrivals per virtual time unit"
+    )
+    workload_parser.add_argument(
+        "--max-in-flight", type=int, default=4, help="admission-control concurrency cap"
+    )
+    workload_parser.add_argument(
+        "--max-queue-depth", type=int, default=None, help="bound the admission queue (reject beyond)"
+    )
+    workload_parser.add_argument(
+        "--seed", type=int, default=2020, help="workload/admission RNG seed"
+    )
 
     return parser
 
@@ -217,6 +274,39 @@ def _cmd_compare(args) -> int:
     return 0
 
 
+def _cmd_workload(args) -> int:
+    database = _load_database(args)
+    service = QueryService(
+        database,
+        backends=tuple(args.backends),
+        max_in_flight=args.max_in_flight,
+        max_queue_depth=args.max_queue_depth,
+        seed=args.seed,
+    )
+    spec_kwargs = {
+        "num_queries": args.num_queries,
+        "mode": args.mode,
+        "arrival_rate": args.arrival_rate,
+    }
+    if args.queries:
+        spec_kwargs["queries"] = tuple(args.queries)
+    requests = generate_requests(WorkloadSpec(**spec_kwargs), seed=args.seed)
+    started = time.perf_counter()
+    outcomes = run_workload(service, requests)
+    elapsed = time.perf_counter() - started
+    print(f"served {len(outcomes)} requests in {elapsed:.2f}s wall "
+          f"({len(outcomes) / elapsed:.1f} queries/sec)")
+    if service.rejected_requests:
+        print(f"rejected {len(service.rejected_requests)} requests (bounded queue)")
+    print(service.report())
+    return 0
+
+
+def _cmd_version() -> int:
+    print(f"repro {repro.__version__}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -225,12 +315,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_datasets()
     if args.command == "queries":
         return _cmd_queries()
+    if args.command == "version":
+        return _cmd_version()
     if args.command == "run":
         return _cmd_run(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
     if args.command == "compare":
         return _cmd_compare(args)
+    if args.command == "workload":
+        return _cmd_workload(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

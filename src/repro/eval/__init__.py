@@ -13,12 +13,15 @@ from repro.eval.metrics import (
     geometric_mean,
     group_by,
     normalise,
+    percentile,
     reduction,
     speedup,
+    summarise_latencies,
     summarise_ratios,
 )
 from repro.eval.reporting import (
     format_distribution,
+    format_latency_summary,
     format_ratio_summary,
     format_series,
     format_table,
@@ -53,10 +56,13 @@ __all__ = [
     "geometric_mean",
     "group_by",
     "normalise",
+    "percentile",
     "reduction",
     "speedup",
+    "summarise_latencies",
     "summarise_ratios",
     "format_distribution",
+    "format_latency_summary",
     "format_ratio_summary",
     "format_series",
     "format_table",

@@ -55,6 +55,21 @@ def format_ratio_summary(name: str, summary: Dict[str, float]) -> str:
     )
 
 
+def format_latency_summary(
+    name: str, summary: Dict[str, float], unit: str = "units"
+) -> str:
+    """One-line rendering of a :func:`repro.eval.metrics.summarise_latencies` dict.
+
+    The serving subsystem reports latencies in backend-specific abstract work
+    units (or nanoseconds for the accelerator backend); ``unit`` labels them.
+    """
+    return (
+        f"{name}: mean {summary['mean']:.1f} {unit}, "
+        f"p50 {summary['p50']:.1f}, p95 {summary['p95']:.1f}, "
+        f"max {summary['max']:.1f} (n={int(summary['count'])})"
+    )
+
+
 def format_distribution(
     labels: Sequence[str], fractions: Sequence[float], width: int = 40
 ) -> str:

@@ -23,6 +23,13 @@ here:
    matches can then be reused whenever the excluded variables change.  This
    reproduces the paper's examples: Path-4 and Cycle-4 cache ``z`` keyed by
    ``y``; Cycle-3 and Clique-4 cache nothing.
+
+The module additionally provides the **canonicalization hooks** used by the
+serving layer's plan cache (:mod:`repro.service`): :func:`canonical_form`
+α-renames a query's variables into a normal form and
+:func:`canonical_signature` derives a stable text key from it, so that
+α-equivalent queries (same structure, different variable names or query
+name) share one compiled plan.
 """
 
 from __future__ import annotations
@@ -32,6 +39,51 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from repro.joins.plan import AtomBinding, CacheSpec, JoinPlan
 from repro.relational.catalog import Database
 from repro.relational.query import Atom, ConjunctiveQuery
+
+#: Query name given to every canonical form; the name never influences
+#: compilation, so erasing it lets differently named queries share plans.
+CANONICAL_QUERY_NAME = "q"
+
+
+def canonical_form(query: ConjunctiveQuery) -> ConjunctiveQuery:
+    """The α-renamed normal form of ``query``.
+
+    Variables are renamed ``v0, v1, ...`` in first-appearance order and the
+    query name is erased.  Two queries that differ only in variable names
+    and/or query name therefore map to the *same* canonical query, and —
+    because :meth:`QueryCompiler.choose_variable_order` keys only on
+    structure (appearance positions, co-occurrence, atom counts), never on
+    the spelling of a variable — the canonical plan is structurally
+    identical to the plan of the original query.  Result tuples of the
+    canonical query are positionally valid for the original: the head is
+    renamed in place, so column ``i`` still carries the binding of the
+    original ``i``-th head variable.
+
+    Atom *order* is preserved (it is semantically irrelevant for the result
+    set but does steer the variable-order heuristic); queries that permute
+    their atoms are treated as distinct plans, which is safe, merely less
+    sharing.
+    """
+    mapping = {variable: f"v{i}" for i, variable in enumerate(query.variables)}
+    atoms = [
+        Atom(atom.relation, tuple(mapping[v] for v in atom.variables))
+        for atom in query.atoms
+    ]
+    head = tuple(mapping[v] for v in query.head_variables)
+    return ConjunctiveQuery(CANONICAL_QUERY_NAME, head, atoms)
+
+
+def canonical_signature(query: ConjunctiveQuery) -> str:
+    """Stable text key shared by all α-equivalent forms of ``query``.
+
+    This is the plan-cache / result-cache key used by
+    :class:`repro.service.QueryService`.
+    """
+    canonical = canonical_form(query)
+    body = ";".join(
+        f"{atom.relation}({','.join(atom.variables)})" for atom in canonical.atoms
+    )
+    return f"{','.join(canonical.head_variables)}<-{body}"
 
 
 class QueryCompiler:
@@ -177,6 +229,25 @@ class QueryCompiler:
             reuse_variables = tuple(v for v in earlier if v not in dependency)
             specs.append(CacheSpec(variable, key_variables, reuse_variables))
         return tuple(specs)
+
+    # ------------------------------------------------------------------ #
+    # Canonicalization hooks (plan-cache support)
+    # ------------------------------------------------------------------ #
+    def signature(self, query: ConjunctiveQuery) -> str:
+        """The plan-cache key of ``query`` (α-equivalent queries collide)."""
+        return canonical_signature(query)
+
+    def compile_canonical(
+        self, query: ConjunctiveQuery
+    ) -> Tuple[str, ConjunctiveQuery, JoinPlan]:
+        """Compile the canonical form of ``query``.
+
+        Returns ``(signature, canonical_query, plan)``; the plan is compiled
+        for the canonical query so it can be reused verbatim by any later
+        α-equivalent submission.
+        """
+        canonical = canonical_form(query)
+        return canonical_signature(query), canonical, self.compile(canonical)
 
     # ------------------------------------------------------------------ #
     # Convenience

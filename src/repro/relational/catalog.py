@@ -9,11 +9,18 @@ For graph workloads the catalog typically contains a single edge relation
 that every atom of the pattern query binds under a different variable
 ordering; :meth:`Database.trie_for_atom` therefore keys its cache on the
 (relation, attribute-order) pair rather than just the relation name.
+
+The catalog is also the **single mutation point** of the serving layer:
+:meth:`Database.insert_into` routes tuple insertions through the catalog so
+that trie indexes are rebuilt lazily and every subscriber registered via
+:meth:`Database.subscribe_invalidation` (e.g. the
+:class:`repro.service.QueryService` result cache) learns which relation
+changed.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Sequence, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Sequence, Tuple
 
 from repro.relational.query import Atom, ConjunctiveQuery
 from repro.relational.relation import Relation
@@ -27,6 +34,7 @@ class Database:
         self.name = name
         self._relations: Dict[str, Relation] = {}
         self._trie_cache: Dict[Tuple[str, Tuple[str, ...]], TrieIndex] = {}
+        self._invalidation_listeners: List[Callable[[str], None]] = []
 
     # ------------------------------------------------------------------ #
     # Relation management
@@ -61,10 +69,30 @@ class Database:
     def relation_names(self) -> Tuple[str, ...]:
         return tuple(self._relations)
 
+    def insert_into(self, relation_name: str, rows: Iterable[Sequence[int]]) -> int:
+        """Insert ``rows`` into a stored relation; return how many were new.
+
+        This is the mutation entry point of the serving layer: tries built
+        for the relation are discarded (they are rebuilt lazily on the next
+        query) and every invalidation subscriber is notified, whether or not
+        any row was actually new — callers cannot observe staleness either
+        way, but cache layers above prefer the conservative signal.
+        """
+        relation = self.relation(relation_name)
+        inserted = sum(1 for row in rows if relation.insert(row))
+        self._invalidate(relation_name)
+        return inserted
+
+    def subscribe_invalidation(self, callback: Callable[[str], None]) -> None:
+        """Call ``callback(relation_name)`` whenever a relation is (re)defined or mutated."""
+        self._invalidation_listeners.append(callback)
+
     def _invalidate(self, relation_name: str) -> None:
         stale = [key for key in self._trie_cache if key[0] == relation_name]
         for key in stale:
             del self._trie_cache[key]
+        for callback in self._invalidation_listeners:
+            callback(relation_name)
 
     # ------------------------------------------------------------------ #
     # Trie construction

@@ -1,0 +1,95 @@
+"""The query-serving subsystem: concurrent, cache-reusing query execution.
+
+The serving layer generalises two of the paper's single-query mechanisms to
+cross-query, throughput-oriented workloads:
+
+* the PJR cache's partial-result reuse (Section 3.5) becomes the
+  signature-keyed **plan cache** and **result cache**
+  (:mod:`repro.service.caches`), with α-equivalent queries canonicalised by
+  the compiler hooks in :mod:`repro.joins.compiler`;
+* the deterministic in-query thread scheduler (Figure 14,
+  :mod:`repro.core.scheduler`) becomes the request-level **admission
+  controller** (:mod:`repro.service.admission`), which caps in-flight
+  queries and arbitrates priority classes with a seeded lottery.
+
+:class:`QueryService` (:mod:`repro.service.service`) composes both over the
+pluggable backend registry (:mod:`repro.service.engines`: naive, LFTJ, CTJ,
+Generic Join, pairwise, and the TrieJax accelerator model);
+:mod:`repro.service.workload` drives it with seeded open/closed-loop query
+streams and :mod:`repro.service.metrics` aggregates per-request records
+into service reports.
+
+Quick start::
+
+    from repro.service import QueryService, WorkloadSpec, generate_requests
+    from repro.service import run_workload, workload_database
+
+    service = QueryService(workload_database(), backends=("lftj", "ctj"))
+    requests = generate_requests(WorkloadSpec(num_queries=100), seed=7)
+    outcomes = run_workload(service, requests)
+    print(service.report())
+"""
+
+from repro.service.admission import (
+    AdmissionController,
+    AdmissionStats,
+    PRIORITY_CLASSES,
+    PRIORITY_WEIGHTS,
+)
+from repro.service.caches import CacheStats, LRUCache, PlanCache, ResultCache
+from repro.service.engines import (
+    AcceleratorBackend,
+    BACKEND_FACTORIES,
+    BACKEND_NAMES,
+    BackendExecution,
+    ExecutionBackend,
+    SoftwareBackend,
+    create_backend,
+)
+from repro.service.metrics import QueryRecord, ServiceMetrics
+from repro.service.service import (
+    QueryOutcome,
+    QueryService,
+    RESULT_REPLAY_COST,
+    ServiceRequest,
+)
+from repro.service.workload import (
+    DEFAULT_PRIORITY_MIX,
+    WorkloadRequest,
+    WorkloadSpec,
+    alpha_rename,
+    generate_requests,
+    run_workload,
+    workload_database,
+)
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionStats",
+    "PRIORITY_CLASSES",
+    "PRIORITY_WEIGHTS",
+    "CacheStats",
+    "LRUCache",
+    "PlanCache",
+    "ResultCache",
+    "AcceleratorBackend",
+    "BACKEND_FACTORIES",
+    "BACKEND_NAMES",
+    "BackendExecution",
+    "ExecutionBackend",
+    "SoftwareBackend",
+    "create_backend",
+    "QueryRecord",
+    "ServiceMetrics",
+    "QueryOutcome",
+    "QueryService",
+    "RESULT_REPLAY_COST",
+    "ServiceRequest",
+    "DEFAULT_PRIORITY_MIX",
+    "WorkloadRequest",
+    "WorkloadSpec",
+    "alpha_rename",
+    "generate_requests",
+    "run_workload",
+    "workload_database",
+]

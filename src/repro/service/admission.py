@@ -1,0 +1,180 @@
+"""Admission control for the query service.
+
+The in-query scheduler (:mod:`repro.core.scheduler`) arbitrates hardware
+threads inside one accelerated query and is deterministic by construction
+(ties broken by event sequence numbers).  The admission controller applies
+the same discipline one level up, across *requests*:
+
+* at most ``max_in_flight`` queries execute concurrently; the rest wait in
+  per-priority FIFO queues (bounded by ``max_queue_depth``; requests beyond
+  that are rejected so an open-loop workload cannot grow the queue without
+  bound);
+* when a slot frees, the next request is drawn by a **seeded lottery**
+  between the non-empty priority classes, weighted heavily towards higher
+  priorities.  The lottery is driven by a
+  :class:`~repro.util.rng.DeterministicRNG`, so a given seed always
+  reproduces the same dispatch order — reproducible like the core
+  scheduler, but starvation-free where strict priority would not be.
+
+Within a class, requests dispatch in submission order (FIFO, sequence
+numbers assigned at submit time).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Generic, Optional, Tuple, TypeVar
+
+from repro.util.rng import DeterministicRNG
+from repro.util.validation import check_positive
+
+T = TypeVar("T")
+
+#: Priority classes, highest first, with their default lottery weights.
+PRIORITY_WEIGHTS: Dict[str, int] = {"high": 8, "normal": 3, "low": 1}
+
+#: Priority class names, highest first.
+PRIORITY_CLASSES: Tuple[str, ...] = tuple(PRIORITY_WEIGHTS)
+
+
+@dataclass
+class AdmissionStats:
+    """Activity counters of the admission controller."""
+
+    submitted: int = 0
+    admitted_immediately: int = 0
+    queued: int = 0
+    rejected: int = 0
+    dispatched: int = 0
+    peak_in_flight: int = 0
+    peak_queue_depth: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "submitted": self.submitted,
+            "admitted_immediately": self.admitted_immediately,
+            "queued": self.queued,
+            "rejected": self.rejected,
+            "dispatched": self.dispatched,
+            "peak_in_flight": self.peak_in_flight,
+            "peak_queue_depth": self.peak_queue_depth,
+        }
+
+
+class AdmissionController(Generic[T]):
+    """Caps in-flight work and arbitrates queued requests by priority.
+
+    Parameters
+    ----------
+    max_in_flight:
+        Concurrency cap: how many requests may hold an execution slot.
+    max_queue_depth:
+        Total queued requests across classes before submissions are
+        rejected (``None`` = unbounded, for closed-loop drivers that
+        self-limit).
+    seed:
+        Seed of the dispatch lottery; equal seeds reproduce the exact
+        dispatch order for the same submission/completion sequence.
+    """
+
+    def __init__(
+        self,
+        max_in_flight: int = 4,
+        max_queue_depth: Optional[int] = None,
+        seed: int = 2020,
+    ):
+        check_positive("max_in_flight", max_in_flight)
+        if max_queue_depth is not None:
+            check_positive("max_queue_depth", max_queue_depth)
+        self.max_in_flight = max_in_flight
+        self.max_queue_depth = max_queue_depth
+        self.stats = AdmissionStats()
+        self._rng = DeterministicRNG(seed)
+        self._queues: Dict[str, Deque[T]] = {name: deque() for name in PRIORITY_CLASSES}
+        self._in_flight = 0
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def in_flight(self) -> int:
+        return self._in_flight
+
+    @property
+    def queue_depth(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+    @property
+    def has_capacity(self) -> bool:
+        return self._in_flight < self.max_in_flight
+
+    def queue_depth_of(self, priority: str) -> int:
+        return len(self._queues[self._check_priority(priority)])
+
+    # ------------------------------------------------------------------ #
+    # Submission / dispatch protocol
+    # ------------------------------------------------------------------ #
+    def submit(self, request: T, priority: str = "normal") -> str:
+        """Offer ``request``; returns ``"admitted"``, ``"queued"`` or ``"rejected"``.
+
+        ``"admitted"`` means the request was granted a slot immediately (the
+        caller starts it now); ``"queued"`` means it waits for
+        :meth:`next_request`.
+        """
+        priority = self._check_priority(priority)
+        self.stats.submitted += 1
+        if self.has_capacity and self.queue_depth == 0:
+            self._occupy_slot()
+            self.stats.admitted_immediately += 1
+            return "admitted"
+        if (
+            self.max_queue_depth is not None
+            and self.queue_depth >= self.max_queue_depth
+        ):
+            self.stats.rejected += 1
+            return "rejected"
+        self._queues[priority].append(request)
+        self.stats.queued += 1
+        self.stats.peak_queue_depth = max(self.stats.peak_queue_depth, self.queue_depth)
+        return "queued"
+
+    def next_request(self) -> Optional[T]:
+        """Grant a slot to the next queued request (or ``None``).
+
+        The winning class is drawn by the seeded lottery over non-empty
+        classes; the class's oldest request dispatches.
+        """
+        if not self.has_capacity:
+            return None
+        candidates = [name for name in PRIORITY_CLASSES if self._queues[name]]
+        if not candidates:
+            return None
+        winner = self._rng.weighted_choice(
+            {name: PRIORITY_WEIGHTS[name] for name in candidates}
+        )
+        request = self._queues[winner].popleft()
+        self._occupy_slot()
+        return request
+
+    def release(self) -> None:
+        """A running request completed; its slot becomes free."""
+        if self._in_flight <= 0:
+            raise RuntimeError("release() without a matching admission")
+        self._in_flight -= 1
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _occupy_slot(self) -> None:
+        self._in_flight += 1
+        self.stats.dispatched += 1
+        self.stats.peak_in_flight = max(self.stats.peak_in_flight, self._in_flight)
+
+    @staticmethod
+    def _check_priority(priority: str) -> str:
+        if priority not in PRIORITY_WEIGHTS:
+            raise KeyError(
+                f"unknown priority {priority!r}; use one of {PRIORITY_CLASSES}"
+            )
+        return priority

@@ -1,0 +1,179 @@
+"""Cross-query caches of the serving layer: compiled plans and full results.
+
+The paper's PJR cache (:mod:`repro.core.pjr_cache`) reuses partial results
+*within* one query execution; the serving layer generalises the idea across
+requests with two LRU caches keyed by the canonical query signature
+(:func:`repro.joins.compiler.canonical_signature`):
+
+* the **plan cache** stores ``(canonical_query, JoinPlan)`` pairs so that
+  α-equivalent queries are compiled exactly once;
+* the **result cache** stores complete result-tuple lists together with the
+  set of relations they were computed from, and drops every dependent entry
+  when the catalog reports a relation mutation.
+
+Both caches are bounded by entry count and evict in LRU order, and both keep
+the same style of hit/miss/eviction counters as
+:class:`~repro.core.pjr_cache.PJRCacheStats` so service reports can show
+plan- and result-reuse rates side by side.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Generic, Iterable, List, Optional, Set, Tuple, TypeVar
+
+from repro.joins.plan import JoinPlan
+from repro.relational.query import ConjunctiveQuery
+from repro.util.validation import check_positive
+
+V = TypeVar("V")
+
+
+@dataclass
+class CacheStats:
+    """Activity counters shared by the plan and result caches."""
+
+    lookups: int = 0
+    hits: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def misses(self) -> int:
+        return self.lookups - self.hits
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "lookups": self.lookups,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "insertions": self.insertions,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+        }
+
+
+class LRUCache(Generic[V]):
+    """A bounded mapping with LRU eviction and activity counters.
+
+    Keys are the canonical query signatures produced by the compiler hooks;
+    values are whatever the subclass stores.  ``capacity`` counts entries
+    (signatures), not bytes: both cached artefact kinds are small and
+    entry-count bounds keep eviction behaviour easy to reason about in
+    tests.
+    """
+
+    def __init__(self, capacity: int):
+        check_positive("capacity", capacity)
+        self.capacity = capacity
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[str, V]" = OrderedDict()
+
+    def get(self, key: str) -> Optional[V]:
+        """Return the cached value (refreshing LRU order) or ``None``."""
+        self.stats.lookups += 1
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry
+
+    def put(self, key: str, value: V) -> None:
+        """Insert/replace ``key``, evicting LRU entries past capacity."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        self.stats.insertions += 1
+        while len(self._entries) > self.capacity:
+            victim_key, _ = self._entries.popitem(last=False)
+            self._on_evict(victim_key)
+            self.stats.evictions += 1
+
+    def peek(self, key: str) -> Optional[V]:
+        """Inspect an entry without touching statistics or LRU order (tests)."""
+        return self._entries.get(key)
+
+    def discard(self, key: str) -> bool:
+        """Drop ``key`` (an invalidation, not an eviction); True if present."""
+        if key not in self._entries:
+            return False
+        del self._entries[key]
+        self._on_evict(key)
+        self.stats.invalidations += 1
+        return True
+
+    def clear(self) -> None:
+        for key in list(self._entries):
+            self.discard(key)
+
+    def keys(self) -> Tuple[str, ...]:
+        """Current keys in LRU order (least recently used first)."""
+        return tuple(self._entries)
+
+    def _on_evict(self, key: str) -> None:
+        """Subclass hook: an entry left the cache (evicted or invalidated)."""
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+
+class PlanCache(LRUCache[Tuple[ConjunctiveQuery, JoinPlan]]):
+    """LRU cache of compiled canonical plans, keyed by query signature."""
+
+
+class ResultCache(LRUCache[List[Tuple[int, ...]]]):
+    """LRU cache of complete query results with relation-level invalidation.
+
+    Every entry records the relations its result was computed from; when the
+    catalog reports that a relation changed, :meth:`invalidate_relation`
+    drops exactly the dependent entries (counted as invalidations, not
+    evictions).
+    """
+
+    def __init__(self, capacity: int):
+        super().__init__(capacity)
+        self._dependents: Dict[str, Set[str]] = {}
+        self._dependencies: Dict[str, Tuple[str, ...]] = {}
+
+    def put_result(
+        self,
+        key: str,
+        tuples: List[Tuple[int, ...]],
+        relation_names: Iterable[str],
+    ) -> None:
+        """Cache ``tuples`` for ``key``, depending on ``relation_names``."""
+        dependencies = tuple(relation_names)
+        self._dependencies[key] = dependencies
+        for relation in dependencies:
+            self._dependents.setdefault(relation, set()).add(key)
+        self.put(key, tuples)
+
+    def invalidate_relation(self, relation_name: str) -> int:
+        """Drop every entry computed from ``relation_name``; return the count."""
+        keys = self._dependents.get(relation_name)
+        if not keys:
+            return 0
+        dropped = 0
+        for key in sorted(keys):  # sorted: deterministic drop order
+            if self.discard(key):
+                dropped += 1
+        return dropped
+
+    def _on_evict(self, key: str) -> None:
+        for relation in self._dependencies.pop(key, ()):
+            dependents = self._dependents.get(relation)
+            if dependents is not None:
+                dependents.discard(key)
+                if not dependents:
+                    del self._dependents[relation]

@@ -1,0 +1,182 @@
+"""Per-query and aggregate metrics of the query service.
+
+Each served request produces one :class:`QueryRecord` (arrival / start /
+finish times in the service's virtual clock, the backend that ran it, and
+which cache layer — result cache, plan cache, or a fresh compile — satisfied
+it).  :class:`ServiceMetrics` aggregates the records into the summaries the
+service report prints: latency and queue-wait distributions (via
+:func:`repro.eval.metrics.summarise_latencies`), per-backend and
+per-priority breakdowns, and cache hit rates, all rendered through
+:mod:`repro.eval.reporting` so service reports look like the paper's
+tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.eval.metrics import summarise_latencies
+from repro.eval.reporting import format_latency_summary, format_table
+
+
+@dataclass
+class QueryRecord:
+    """Everything the service remembers about one completed request.
+
+    Times are in the service's virtual clock (modelled nanoseconds, see
+    :mod:`repro.service.engines`); ``service_time`` is the backend-charged
+    cost, a small constant for result-cache hits.
+    """
+
+    request_id: int
+    query_name: str
+    signature: str
+    backend: str
+    priority: str
+    arrival_time: float
+    start_time: float
+    finish_time: float
+    service_time: float
+    result_count: int
+    result_cache_hit: bool
+    plan_cache_hit: bool
+    compiled: bool
+
+    @property
+    def queue_wait(self) -> float:
+        """Virtual time spent between arrival and dispatch."""
+        return self.start_time - self.arrival_time
+
+    @property
+    def latency(self) -> float:
+        """End-to-end virtual time from arrival to completion."""
+        return self.finish_time - self.arrival_time
+
+
+@dataclass
+class ServiceMetrics:
+    """Aggregate view over all completed requests of one service."""
+
+    records: List[QueryRecord] = field(default_factory=list)
+
+    def record(self, record: QueryRecord) -> None:
+        self.records.append(record)
+
+    # ------------------------------------------------------------------ #
+    # Aggregates
+    # ------------------------------------------------------------------ #
+    @property
+    def completed(self) -> int:
+        return len(self.records)
+
+    @property
+    def makespan(self) -> float:
+        """Virtual time from the first arrival to the last completion."""
+        if not self.records:
+            return 0.0
+        first = min(r.arrival_time for r in self.records)
+        last = max(r.finish_time for r in self.records)
+        return last - first
+
+    def throughput(self) -> float:
+        """Completed requests per virtual time unit."""
+        span = self.makespan
+        return self.completed / span if span > 0 else 0.0
+
+    def latency_summary(self) -> Dict[str, float]:
+        return summarise_latencies([r.latency for r in self.records])
+
+    def queue_wait_summary(self) -> Dict[str, float]:
+        return summarise_latencies([r.queue_wait for r in self.records])
+
+    def result_cache_hit_rate(self) -> float:
+        if not self.records:
+            return 0.0
+        return sum(1 for r in self.records if r.result_cache_hit) / len(self.records)
+
+    def plan_cache_hit_rate(self) -> float:
+        """Plan reuses over plan lookups (result-cache hits never look up a plan)."""
+        lookups = [r for r in self.records if not r.result_cache_hit]
+        if not lookups:
+            return 0.0
+        return sum(1 for r in lookups if r.plan_cache_hit) / len(lookups)
+
+    def compiles(self) -> int:
+        """How many requests paid a fresh compilation."""
+        return sum(1 for r in self.records if r.compiled)
+
+    def by_backend(self) -> Dict[str, List[QueryRecord]]:
+        groups: Dict[str, List[QueryRecord]] = {}
+        for record in self.records:
+            groups.setdefault(record.backend, []).append(record)
+        return groups
+
+    def by_priority(self) -> Dict[str, List[QueryRecord]]:
+        groups: Dict[str, List[QueryRecord]] = {}
+        for record in self.records:
+            groups.setdefault(record.priority, []).append(record)
+        return groups
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+    def backend_rows(self) -> List[Tuple[object, ...]]:
+        """Per-backend table rows: requests, latency stats, hit counts."""
+        rows: List[Tuple[object, ...]] = []
+        groups = self.by_backend()
+        for backend in sorted(groups):
+            group = groups[backend]
+            summary = summarise_latencies([r.latency for r in group])
+            rows.append(
+                (
+                    backend,
+                    len(group),
+                    summary["mean"],
+                    summary["p95"],
+                    sum(1 for r in group if r.result_cache_hit),
+                    sum(1 for r in group if r.plan_cache_hit),
+                    sum(1 for r in group if r.compiled),
+                )
+            )
+        return rows
+
+    def priority_rows(self) -> List[Tuple[object, ...]]:
+        """Per-priority table rows: requests, queue wait and latency stats."""
+        rows: List[Tuple[object, ...]] = []
+        groups = self.by_priority()
+        for priority in sorted(groups):
+            group = groups[priority]
+            waits = summarise_latencies([r.queue_wait for r in group])
+            latencies = summarise_latencies([r.latency for r in group])
+            rows.append(
+                (priority, len(group), waits["mean"], waits["p95"], latencies["mean"])
+            )
+        return rows
+
+    def summary(self, cache_lines: Sequence[str] = ()) -> str:
+        """Multi-line service report (optionally extended with cache lines)."""
+        lines = [
+            f"requests completed   : {self.completed}",
+            f"virtual makespan     : {self.makespan:.1f} ns (modelled)",
+            f"throughput           : {self.throughput():.4f} requests/ns",
+            format_latency_summary("latency", self.latency_summary(), unit="ns"),
+            format_latency_summary("queue wait", self.queue_wait_summary(), unit="ns"),
+            f"result-cache hit rate: {self.result_cache_hit_rate():.1%}",
+            f"plan-cache hit rate  : {self.plan_cache_hit_rate():.1%}",
+            f"fresh compilations   : {self.compiles()}",
+        ]
+        lines.extend(cache_lines)
+        lines.append(
+            format_table(
+                ("backend", "requests", "mean lat", "p95 lat", "result hits", "plan hits", "compiles"),
+                self.backend_rows(),
+            )
+        )
+        lines.append(
+            format_table(
+                ("priority", "requests", "mean wait", "p95 wait", "mean lat"),
+                self.priority_rows(),
+            )
+        )
+        return "\n".join(lines)

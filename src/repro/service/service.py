@@ -1,0 +1,339 @@
+"""The query service: a concurrent, cache-reusing front end over the engines.
+
+:class:`QueryService` turns the single-query reproduction into a serving
+system.  It owns a :class:`~repro.relational.catalog.Database` catalog and a
+set of execution backends (see :mod:`repro.service.engines`) and serves a
+stream of requests through three cooperating layers:
+
+1. the **result cache** answers a repeated query without touching an engine
+   and is invalidated (per relation) whenever the catalog mutates;
+2. the **plan cache** hands every plan-aware backend the precompiled
+   canonical plan, so α-equivalent queries are compiled exactly once;
+3. the **admission controller** caps concurrent executions and arbitrates
+   the queued remainder across priority classes with a seeded,
+   reproducible lottery.
+
+Concurrency is modelled in *virtual time* (modelled nanoseconds, see
+:mod:`repro.service.engines`), the same way the core scheduler models
+hardware threads: each execution charges a deterministic backend cost as
+its service time, and :meth:`QueryService.drain` advances a virtual clock
+through arrival/completion events.  The clock persists across drains, and a
+freshly computed result enters the result cache only at its request's
+*completion* event, so a concurrent duplicate can never observe a result
+that has not finished yet in virtual time.  Identical (workload, seed)
+configurations produce bit-identical metrics, queue waits included, while
+host wall-clock throughput is still available to the benchmarks via
+measured spans.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.joins.compiler import QueryCompiler
+from repro.relational.catalog import Database
+from repro.relational.query import ConjunctiveQuery
+from repro.service.admission import AdmissionController
+from repro.service.caches import PlanCache, ResultCache
+from repro.service.engines import ExecutionBackend, create_backend
+from repro.service.metrics import QueryRecord, ServiceMetrics
+
+#: Virtual-time cost charged to a request answered from the result cache.
+RESULT_REPLAY_COST = 1.0
+
+
+@dataclass
+class ServiceRequest:
+    """One submitted query, waiting to be served."""
+
+    request_id: int
+    query: ConjunctiveQuery
+    priority: str = "normal"
+    arrival_time: float = 0.0
+    backend: Optional[str] = None  # None → service round-robin
+
+
+@dataclass
+class QueryOutcome:
+    """What :meth:`QueryService.drain` returns per request: tuples + record."""
+
+    tuples: List[Tuple[int, ...]]
+    record: QueryRecord
+
+    @property
+    def cardinality(self) -> int:
+        return len(self.tuples)
+
+
+class QueryService:
+    """Serves conjunctive-query streams over a shared catalog.
+
+    Parameters
+    ----------
+    database:
+        The catalog queries run against.  The service subscribes to its
+        invalidation events: any mutation through the catalog drops the
+        dependent result-cache entries (compiled plans survive — they
+        depend only on query structure, never on data).
+    backends:
+        Backend names (resolved via the registry) and/or ready
+        :class:`~repro.service.engines.ExecutionBackend` instances.
+        Requests that do not pin a backend rotate round-robin through this
+        list, in order.
+    max_in_flight / max_queue_depth / seed:
+        Admission-control knobs (see
+        :class:`~repro.service.admission.AdmissionController`).
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        backends: Sequence[Union[str, ExecutionBackend]] = ("lftj", "ctj"),
+        compiler: Optional[QueryCompiler] = None,
+        plan_cache_capacity: int = 128,
+        result_cache_capacity: int = 256,
+        max_in_flight: int = 4,
+        max_queue_depth: Optional[int] = None,
+        seed: int = 2020,
+    ):
+        if not backends:
+            raise ValueError("QueryService needs at least one backend")
+        self.database = database
+        self.compiler = compiler or QueryCompiler(enable_caching=True)
+        self.backends: Dict[str, ExecutionBackend] = {}
+        self._rotation: List[str] = []
+        for entry in backends:
+            backend = create_backend(entry) if isinstance(entry, str) else entry
+            self.backends[backend.name] = backend
+            self._rotation.append(backend.name)
+        self.plan_cache = PlanCache(plan_cache_capacity)
+        self.result_cache = ResultCache(result_cache_capacity)
+        self.admission: AdmissionController[ServiceRequest] = AdmissionController(
+            max_in_flight=max_in_flight, max_queue_depth=max_queue_depth, seed=seed
+        )
+        self.metrics = ServiceMetrics()
+        self._pending: List[ServiceRequest] = []
+        self._rejected: List[int] = []
+        self._next_request_id = 0
+        self._next_rotation = 0
+        self._last_arrival = 0.0
+        self._clock = 0.0
+        database.subscribe_invalidation(self.result_cache.invalidate_relation)
+
+    # ------------------------------------------------------------------ #
+    # Submission
+    # ------------------------------------------------------------------ #
+    def submit(
+        self,
+        query: ConjunctiveQuery,
+        priority: str = "normal",
+        arrival_time: Optional[float] = None,
+        backend: Optional[str] = None,
+    ) -> int:
+        """Enqueue ``query``; returns its request id (serve with :meth:`drain`).
+
+        ``arrival_time`` is in virtual time; omitted, the request arrives
+        together with the latest submission so far (a closed-loop backlog).
+        """
+        if backend is not None and backend not in self.backends:
+            raise KeyError(
+                f"backend {backend!r} not configured; have {sorted(self.backends)}"
+            )
+        self.database.validate_query(query)
+        if arrival_time is None:
+            arrival_time = self._last_arrival
+        self._last_arrival = max(self._last_arrival, arrival_time)
+        request = ServiceRequest(
+            self._next_request_id, query, priority, arrival_time, backend
+        )
+        self._next_request_id += 1
+        self._pending.append(request)
+        return request.request_id
+
+    # ------------------------------------------------------------------ #
+    # Serving
+    # ------------------------------------------------------------------ #
+    def drain(self) -> Dict[int, QueryOutcome]:
+        """Serve every pending request to completion; return their outcomes by id.
+
+        Runs the virtual-time event loop: arrivals enter admission control,
+        admitted requests execute (charging their deterministic backend
+        cost as service time) and completions free slots for the queued
+        remainder.  The clock carries over from previous drains (arrivals
+        dated before the current clock are clamped to it), and freshly
+        computed results are published to the result cache at their
+        completion event, never earlier.  Rejected requests (bounded queue)
+        appear in :attr:`rejected_requests`, not in the returned outcomes.
+        """
+        for request in self._pending:
+            request.arrival_time = max(request.arrival_time, self._clock)
+        arrivals = sorted(self._pending, key=lambda r: (r.arrival_time, r.request_id))
+        self._pending = []
+        outcomes: Dict[int, QueryOutcome] = {}
+        # Completion events: (finish, seq, record, deferred result-cache entry).
+        completions: List[
+            Tuple[float, int, QueryRecord, Optional[Tuple[str, List[Tuple[int, ...]], Tuple[str, ...]]]]
+        ] = []
+        sequence = 0
+        clock = self._clock
+        index = 0
+
+        def start(request: ServiceRequest, start_time: float) -> None:
+            nonlocal sequence
+            outcome, record, cache_entry = self._execute(request, start_time)
+            outcomes[request.request_id] = outcome
+            sequence += 1
+            heapq.heappush(
+                completions, (record.finish_time, sequence, record, cache_entry)
+            )
+
+        while index < len(arrivals) or completions:
+            next_arrival = (
+                arrivals[index].arrival_time if index < len(arrivals) else float("inf")
+            )
+            next_completion = completions[0][0] if completions else float("inf")
+            if next_completion <= next_arrival:
+                finish, _seq, record, cache_entry = heapq.heappop(completions)
+                clock = max(clock, finish)
+                self.admission.release()
+                if cache_entry is not None:
+                    signature, tuples, relation_names = cache_entry
+                    self.result_cache.put_result(signature, tuples, relation_names)
+                self.metrics.record(record)
+                queued = self.admission.next_request()
+                while queued is not None:
+                    start(queued, clock)
+                    queued = self.admission.next_request()
+            else:
+                request = arrivals[index]
+                index += 1
+                clock = max(clock, request.arrival_time)
+                status = self.admission.submit(request, request.priority)
+                if status == "admitted":
+                    start(request, clock)
+                elif status == "rejected":
+                    self._rejected.append(request.request_id)
+        self._clock = clock
+        return outcomes
+
+    def serve(
+        self, query: ConjunctiveQuery, priority: str = "normal", backend: Optional[str] = None
+    ) -> QueryOutcome:
+        """Submit one query and serve everything pending; returns its outcome."""
+        request_id = self.submit(query, priority=priority, backend=backend)
+        return self.drain()[request_id]
+
+    @property
+    def rejected_requests(self) -> Tuple[int, ...]:
+        """Request ids rejected by the bounded admission queue."""
+        return tuple(self._rejected)
+
+    # ------------------------------------------------------------------ #
+    # Catalog mutation
+    # ------------------------------------------------------------------ #
+    def insert_tuples(self, relation_name: str, rows) -> int:
+        """Mutate the catalog through the service; dependent results drop."""
+        return self.database.insert_into(relation_name, rows)
+
+    # ------------------------------------------------------------------ #
+    # Execution of one request
+    # ------------------------------------------------------------------ #
+    def _choose_backend(self, request: ServiceRequest) -> ExecutionBackend:
+        if request.backend is not None:
+            return self.backends[request.backend]
+        name = self._rotation[self._next_rotation % len(self._rotation)]
+        self._next_rotation += 1
+        return self.backends[name]
+
+    def _execute(
+        self, request: ServiceRequest, start_time: float
+    ) -> Tuple[QueryOutcome, QueryRecord, Optional[Tuple[str, List[Tuple[int, ...]], Tuple[str, ...]]]]:
+        """Run one dispatched request; returns (outcome, record, cache entry).
+
+        The cache entry (signature, tuples, relation dependencies) is
+        ``None`` for result-cache hits; for fresh computations the caller
+        publishes it at the request's completion event so that virtual-time
+        causality holds (a result is visible only once it has finished).
+        The plan cache, by contrast, is populated here at dispatch time:
+        compilation is not charged any virtual time, so plan visibility has
+        no causal ordering to violate.
+        """
+        query = request.query
+        signature = self.compiler.signature(query)
+        backend = self._choose_backend(request)
+
+        cache_entry = None
+        cached = self.result_cache.get(signature)
+        plan_cache_hit = False
+        compiled = False
+        if cached is not None:
+            tuples = cached
+            service_time = RESULT_REPLAY_COST
+            result_cache_hit = True
+        else:
+            result_cache_hit = False
+            if backend.plan_aware:
+                entry = self.plan_cache.get(signature)
+                if entry is None:
+                    _, canonical, plan = self.compiler.compile_canonical(query)
+                    self.plan_cache.put(signature, (canonical, plan))
+                    compiled = True
+                else:
+                    canonical, plan = entry
+                    plan_cache_hit = True
+                execution = backend.execute(canonical, self.database, plan=plan)
+            else:
+                # Plan-blind backends (naive, pairwise) plan internally; the
+                # plan cache neither helps nor counts for them.
+                execution = backend.execute(query, self.database)
+            tuples = execution.tuples
+            service_time = execution.cost
+            cache_entry = (signature, tuples, query.relation_names())
+
+        record = QueryRecord(
+            request_id=request.request_id,
+            query_name=query.name,
+            signature=signature,
+            backend=backend.name,
+            priority=request.priority,
+            arrival_time=request.arrival_time,
+            start_time=start_time,
+            finish_time=start_time + service_time,
+            service_time=service_time,
+            result_count=len(tuples),
+            result_cache_hit=result_cache_hit,
+            plan_cache_hit=plan_cache_hit,
+            compiled=compiled,
+        )
+        return QueryOutcome(tuples, record), record, cache_entry
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+    def cache_report_lines(self) -> List[str]:
+        plan = self.plan_cache.stats
+        result = self.result_cache.stats
+        admission = self.admission.stats
+        return [
+            (
+                f"plan cache           : {plan.hits}/{plan.lookups} hits "
+                f"({plan.hit_rate:.1%}), {plan.evictions} evictions"
+            ),
+            (
+                f"result cache         : {result.hits}/{result.lookups} hits "
+                f"({result.hit_rate:.1%}), {result.evictions} evictions, "
+                f"{result.invalidations} invalidations"
+            ),
+            (
+                f"admission            : {admission.submitted} submitted, "
+                f"{admission.queued} queued, {admission.rejected} rejected, "
+                f"peak in-flight {admission.peak_in_flight}, "
+                f"peak queue {admission.peak_queue_depth}"
+            ),
+        ]
+
+    def report(self) -> str:
+        """Full service report: aggregate metrics plus cache/admission lines."""
+        return self.metrics.summary(cache_lines=self.cache_report_lines())

@@ -11,7 +11,7 @@ experiment numbers.
 from __future__ import annotations
 
 import random
-from typing import List, Sequence, TypeVar
+from typing import Dict, List, Sequence, TypeVar
 
 T = TypeVar("T")
 
@@ -57,6 +57,29 @@ class DeterministicRNG:
     def choice(self, seq: Sequence[T]) -> T:
         """Uniformly chosen element of ``seq``."""
         return self._rng.choice(seq)
+
+    def weighted_choice(self, weights: Dict[T, float]) -> T:
+        """Pick a key with probability proportional to its (positive) weight.
+
+        Candidates are considered in the dictionary's iteration order, so a
+        given seed and call sequence always reproduce the same picks.  A
+        single candidate is returned without consuming a draw, so callers
+        arbitrating a usually-singleton set do not perturb the stream.
+        """
+        items = list(weights.items())
+        if not items:
+            raise ValueError("weighted_choice needs at least one candidate")
+        if len(items) == 1:
+            return items[0][0]
+        total = sum(weight for _, weight in items)
+        if total <= 0:
+            raise ValueError(f"weights must sum to a positive value, got {total!r}")
+        ticket = self.random() * total
+        for key, weight in items:
+            ticket -= weight
+            if ticket < 0:
+                return key
+        return items[-1][0]  # float round-off fallback
 
     def sample(self, seq: Sequence[T], k: int) -> List[T]:
         """``k`` distinct elements sampled uniformly without replacement."""

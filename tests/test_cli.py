@@ -2,6 +2,7 @@
 
 import pytest
 
+import repro
 from repro.cli import build_parser, main
 from repro.graphs import community_graph, write_snap_edge_list
 
@@ -89,6 +90,53 @@ class TestCommands:
         )
         assert exit_code == 0
         assert "figure18" in capsys.readouterr().out
+
+    def test_version_command(self, capsys):
+        assert main(["version"]) == 0
+        assert f"repro {repro.__version__}" in capsys.readouterr().out
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+    def test_workload_command(self, capsys):
+        exit_code = main(
+            [
+                "workload",
+                "--dataset",
+                "grqc",
+                "--scale",
+                "0.005",
+                "--num-queries",
+                "40",
+                "--backends",
+                "lftj",
+                "ctj",
+                "--seed",
+                "7",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "queries/sec" in output
+        assert "result-cache hit rate" in output
+        assert "lftj" in output and "ctj" in output
+
+    def test_workload_on_edge_list(self, tmp_path, capsys):
+        graph = community_graph(30, 120, seed=3)
+        path = str(tmp_path / "graph.txt")
+        write_snap_edge_list(graph, path)
+        exit_code = main(
+            ["workload", "--edge-list", path, "--num-queries", "20", "--mode", "closed"]
+        )
+        assert exit_code == 0
+        assert "requests completed   : 20" in capsys.readouterr().out
+
+    def test_workload_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["workload", "--backends", "warp-drive"])
 
     def test_compare_command(self, capsys):
         exit_code = main(
