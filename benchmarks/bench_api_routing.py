@@ -1,0 +1,77 @@
+"""Cost-based routing: overhead and effect on served virtual time.
+
+Two numbers for the ROADMAP's multi-backend routing item:
+
+* the host wall-clock overhead of one routing decision (statistics-based
+  cost estimation across every registered engine), which sits on the
+  latency path of every unpinned request; and
+* a head-to-head of the serving layer's virtual makespan under round-robin
+  rotation vs cost routing over a (CTJ, pairwise) engine pair — blind
+  rotation keeps sending half the stream to the materialising pairwise
+  engine, while the router prices it out on every pattern.
+
+(The accelerator model is excluded from the makespan comparison on
+purpose: its *measured* runtime is cheaper than software across the board —
+the paper's speedup — while routing charges it a fixed offload overhead the
+timing model does not, so small queries deliberately stay on software.)
+
+All randomness derives from the harness seed (``REPRO_BENCH_SEED``).
+"""
+
+from repro.api import Session
+from repro.api.routing import CostRouter
+from repro.graphs import pattern_query
+from repro.service import WorkloadSpec, generate_requests, workload_database
+
+#: Engines the makespan comparison chooses between.
+ENGINES = ("ctj", "pairwise")
+
+
+def test_route_decision_overhead(benchmark, bench_rng):
+    database = workload_database(
+        num_vertices=60, num_edges=300, seed=bench_rng.fork(1).seed
+    )
+    session = Session(database)  # every registered engine is a candidate
+    router = CostRouter()
+    queries = [pattern_query(name) for name in ("path3", "cycle3", "clique4")]
+
+    def route_all():
+        return [
+            router.choose(query, database, session.engines) for query in queries
+        ]
+
+    decisions = benchmark(route_all)
+    assert [d.chosen for d in decisions] == ["ctj", "triejax", "triejax"]
+
+
+def test_cost_routing_beats_rotation_in_virtual_time(benchmark, bench_seed, bench_rng):
+    database = workload_database(
+        num_vertices=60, num_edges=300, seed=bench_rng.fork(1).seed
+    )
+    spec = WorkloadSpec(num_queries=80, mode="closed", rename_fraction=0.0)
+    requests = generate_requests(spec, seed=bench_rng.fork(2).seed)
+
+    def serve(routing):
+        session = Session(
+            workload_database(num_vertices=60, num_edges=300, seed=bench_rng.fork(1).seed),
+            engines=ENGINES,
+            seed=bench_seed,
+            routing=routing,
+        )
+        session.serve(requests)
+        return session.service.metrics.makespan
+
+    def serve_both():
+        return serve("rotate"), serve("auto")
+
+    rotated_makespan, routed_makespan = benchmark.pedantic(
+        serve_both, rounds=1, iterations=1
+    )
+    print()
+    print(f"virtual makespan rotate: {rotated_makespan:.1f} ns")
+    print(f"virtual makespan auto  : {routed_makespan:.1f} ns")
+    benchmark.extra_info["rotate_makespan_ns"] = round(rotated_makespan, 1)
+    benchmark.extra_info["auto_makespan_ns"] = round(routed_makespan, 1)
+    # Routing must beat blind rotation: it never dispatches to the pairwise
+    # engine the rotation keeps feeding.
+    assert routed_makespan < rotated_makespan

@@ -13,9 +13,9 @@ Run with::
     python examples/quickstart.py
 """
 
+from repro.api import Session
 from repro.core import TrieJaxAccelerator
 from repro.graphs import graph_database, load_dataset, pattern_query
-from repro.joins import CachedTrieJoin
 
 
 def main() -> None:
@@ -34,9 +34,9 @@ def main() -> None:
     print(f"\nTrieJax found {outcome.cardinality} directed triangles")
     print(outcome.report.summary())
 
-    # --- Cross-check against the software CTJ engine --------------------- #
-    software = CachedTrieJoin().run(query, database)
-    assert set(software.tuples) == outcome.as_set(), "accelerator disagrees with CTJ!"
+    # --- Cross-check against the software CTJ engine (public API) -------- #
+    software = Session(database, engines=("ctj",)).execute(query, route="ctj")
+    assert software.to_set() == outcome.as_set(), "accelerator disagrees with CTJ!"
     print("\nsoftware CTJ agrees with the accelerator "
           f"({software.cardinality} triangles)")
 

@@ -29,18 +29,32 @@ stack described in the paper in pure Python:
     facade with plan/result caches keyed on canonical query signatures,
     seeded admission control with priority classes, pluggable engine
     backends and a workload driver for open/closed-loop query streams.
+``repro.api``
+    **The public API**: :class:`~repro.api.Session` /
+    :class:`~repro.api.Statement` / :class:`~repro.api.ResultSet` over the
+    unified engine protocol, the single engine registry, and cost-based
+    routing.  Start here.
 
 Quick start::
 
-    from repro.graphs import load_dataset, pattern_query, graph_database
-    from repro.core import TrieJaxAccelerator
+    from repro import Session
+    from repro.graphs import load_dataset, graph_database
 
-    database = graph_database(load_dataset("wiki", scale=0.01))
-    outcome = TrieJaxAccelerator().run(pattern_query("cycle3"), database)
-    print(outcome.cardinality, "triangles")
-    print(outcome.report.summary())
+    session = Session(graph_database(load_dataset("wiki", scale=0.01)))
+    triangles = session.execute("cycle3")          # cost-routed automatically
+    print(len(triangles.to_list()), "triangles via", triangles.backend)
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["__version__"]
+__all__ = ["__version__", "ResultSet", "Session", "Statement"]
+
+
+def __getattr__(name):
+    # Lazy re-exports of the public API surface, so ``import repro`` stays
+    # cheap for consumers that only want a subpackage.
+    if name in ("Session", "Statement", "ResultSet"):
+        import repro.api
+
+        return getattr(repro.api, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,130 @@
+"""ResultSet: the lazy result surface returned by :meth:`Session.execute`.
+
+The old entry points returned bare ``JoinResult`` / ``BackendExecution``
+objects, each with a different shape.  A :class:`ResultSet` is the single
+API-boundary result type: it knows its query, canonical signature, routed
+engine and plan up front, and defers the actual execution until the tuples
+are first consumed (iteration, :meth:`to_list`, ``len``, ``.stats``...).
+Execution happens exactly once and is memoised; the caches of the owning
+:class:`~repro.api.session.Session` are populated at that moment, not at
+submit time, so a ResultSet that is never consumed never pays for — or
+publishes — a result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from repro.api.routing import RouteDecision
+from repro.joins.plan import JoinPlan
+from repro.joins.stats import JoinStats
+from repro.relational.query import ConjunctiveQuery
+
+
+@dataclass
+class ExecutionOutcome:
+    """What a ResultSet's executor produces (one per ResultSet, memoised)."""
+
+    tuples: List[Tuple[int, ...]]
+    cost: float
+    from_cache: bool
+    stats: Optional[JoinStats] = None
+    plan: Optional[JoinPlan] = None
+    report: Optional[object] = None
+    count: Optional[int] = None
+    plan_cache_hit: bool = False
+    compiled: bool = False
+
+
+class ResultSet:
+    """Lazy, iterable view over one statement execution."""
+
+    def __init__(
+        self,
+        query: ConjunctiveQuery,
+        signature: str,
+        backend: str,
+        executor: Callable[[], ExecutionOutcome],
+        route: Optional[RouteDecision] = None,
+    ):
+        self.query = query
+        self.signature = signature
+        self.backend = backend
+        self.route = route
+        self._executor = executor
+        self._outcome: Optional[ExecutionOutcome] = None
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    @property
+    def executed(self) -> bool:
+        """Whether the execution has been forced yet."""
+        return self._outcome is not None
+
+    def _force(self) -> ExecutionOutcome:
+        if self._outcome is None:
+            self._outcome = self._executor()
+        return self._outcome
+
+    # ------------------------------------------------------------------ #
+    # Tuples
+    # ------------------------------------------------------------------ #
+    @property
+    def tuples(self) -> List[Tuple[int, ...]]:
+        return self._force().tuples
+
+    def __iter__(self) -> Iterator[Tuple[int, ...]]:
+        return iter(self._force().tuples)
+
+    def __len__(self) -> int:
+        return len(self._force().tuples)
+
+    def to_list(self) -> List[Tuple[int, ...]]:
+        """The output tuples as a fresh list (head-variable order)."""
+        return list(self._force().tuples)
+
+    def to_set(self) -> set:
+        """The output as a set of tuples (order-insensitive comparison)."""
+        return set(self._force().tuples)
+
+    @property
+    def cardinality(self) -> int:
+        """Result count (the aggregated count for count-only executions)."""
+        outcome = self._force()
+        if outcome.tuples:
+            return len(outcome.tuples)
+        return outcome.count if outcome.count is not None else 0
+
+    # ------------------------------------------------------------------ #
+    # Provenance
+    # ------------------------------------------------------------------ #
+    @property
+    def stats(self) -> Optional[JoinStats]:
+        """Algorithm counters of the run (``None`` for cache replays)."""
+        return self._force().stats
+
+    @property
+    def plan(self) -> Optional[JoinPlan]:
+        """The compiled plan the run used (``None`` for plan-blind engines)."""
+        return self._force().plan
+
+    @property
+    def report(self) -> Optional[object]:
+        """The accelerator run report, when the engine produced one."""
+        return self._force().report
+
+    @property
+    def cost(self) -> float:
+        """Deterministic service cost of the run, in modelled nanoseconds."""
+        return self._force().cost
+
+    @property
+    def from_cache(self) -> bool:
+        """True when the tuples were replayed from the session result cache."""
+        return self._force().from_cache
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        state = f"{len(self._outcome.tuples)} tuples" if self.executed else "pending"
+        return f"ResultSet(query={self.query.name!r}, backend={self.backend!r}, {state})"

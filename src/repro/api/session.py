@@ -1,0 +1,335 @@
+"""Session: the repository's single public entry point.
+
+A :class:`Session` owns a :class:`~repro.relational.catalog.Database`, the
+plan and result caches, an engine table resolved through the shared
+registry (:mod:`repro.api.engines`) and a cost router
+(:mod:`repro.api.routing`).  It exposes three verbs::
+
+    session = Session(database)
+    session.execute("cycle3")            # -> ResultSet (lazy, cached, routed)
+    session.explain("cycle3")            # -> Explanation (route, plan, costs)
+    session.serve(WorkloadSpec(...))     # -> concurrent serving via repro.service
+
+``execute`` is the synchronous single-statement path: resolve the statement,
+route it (cost-based by default, or pinned to a named engine), and return a
+lazy :class:`~repro.api.resultset.ResultSet`; the session's result cache
+answers α-equivalent repeats without touching an engine, and its plan cache
+compiles each canonical signature exactly once.  ``serve`` delegates a whole
+request stream to :class:`repro.service.QueryService`, sharing this
+session's database, caches, engine instances and router, so results cached
+by either path are visible to both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+from repro.api.engines import EngineProtocol, create_engine, engine_names
+from repro.api.resultset import ExecutionOutcome, ResultSet
+from repro.api.routing import CostRouter, RouteDecision
+from repro.api.statement import Statement, coerce_statement
+from repro.joins.compiler import QueryCompiler
+from repro.joins.plan import JoinPlan
+from repro.relational.catalog import Database
+from repro.relational.query import ConjunctiveQuery
+from repro.service.caches import PlanCache, ResultCache
+from repro.service.service import RESULT_REPLAY_COST
+
+
+@dataclass
+class Explanation:
+    """What :meth:`Session.explain` returns: the route and plan for a statement."""
+
+    statement: Statement
+    query: ConjunctiveQuery
+    signature: str
+    decision: RouteDecision
+    plan: Optional[JoinPlan]
+    estimated_cost_ns: float
+
+    def describe(self) -> str:
+        lines = [
+            f"statement       : {self.query.to_datalog()}",
+            f"signature       : {self.signature}",
+            self.decision.describe(),
+        ]
+        if self.plan is not None:
+            lines.append("plan:")
+            lines.append(self.plan.describe())
+        else:
+            lines.append("plan            : (engine plans internally)")
+        return "\n".join(lines)
+
+
+class Session:
+    """Unified facade over the catalog, the caches and the engine registry.
+
+    Parameters
+    ----------
+    database:
+        The catalog statements run against (a fresh empty one by default).
+        The session subscribes its result cache to the catalog's
+        invalidation events, so mutations through :meth:`insert` (or the
+        catalog itself) drop dependent cached results.
+    engines:
+        Engine names (resolved through the shared registry) and/or ready
+        :class:`~repro.api.engines.EngineProtocol` instances.  Defaults to
+        every registered engine.
+    routing:
+        ``"auto"`` (default) routes unpinned work through the cost router;
+        ``"rotate"`` keeps the legacy round-robin when serving workloads.
+    max_in_flight / max_queue_depth / seed:
+        Admission-control knobs for :meth:`serve`.
+    """
+
+    def __init__(
+        self,
+        database: Optional[Database] = None,
+        engines: Optional[Sequence[Union[str, EngineProtocol]]] = None,
+        compiler: Optional[QueryCompiler] = None,
+        router: Optional[CostRouter] = None,
+        plan_cache_capacity: int = 128,
+        result_cache_capacity: int = 256,
+        max_in_flight: int = 4,
+        max_queue_depth: Optional[int] = None,
+        seed: int = 2020,
+        routing: str = "auto",
+    ):
+        if routing not in ("auto", "rotate"):
+            raise ValueError(f"routing must be 'auto' or 'rotate', got {routing!r}")
+        self.database = database if database is not None else Database("session")
+        self.compiler = compiler or QueryCompiler(enable_caching=True)
+        self.router = router or CostRouter()
+        self.routing = routing
+        self.engines: Dict[str, EngineProtocol] = {}
+        for entry in engines if engines is not None else engine_names():
+            self.add_engine(create_engine(entry) if isinstance(entry, str) else entry)
+        if not self.engines:
+            raise ValueError("Session needs at least one engine")
+        self.plan_cache = PlanCache(plan_cache_capacity)
+        self.result_cache = ResultCache(result_cache_capacity)
+        self.max_in_flight = max_in_flight
+        self.max_queue_depth = max_queue_depth
+        self.seed = seed
+        self._service = None
+        self._route_memo: Dict[Tuple[str, str], RouteDecision] = {}
+        self._closed = False
+        self.database.subscribe_invalidation(self._on_catalog_mutation)
+
+    def _on_catalog_mutation(self, relation_name: str) -> None:
+        self.result_cache.invalidate_relation(relation_name)
+        # Cost estimates depend on relation statistics; recompute on change.
+        self._route_memo.clear()
+
+    def close(self) -> None:
+        """Detach this session from its catalog (idempotent).
+
+        Unsubscribes the invalidation callback, so short-lived sessions
+        over a long-lived shared database do not accumulate dead listeners.
+        A closed session can still execute; its cached results simply stop
+        tracking catalog mutations.
+        """
+        if not self._closed:
+            self.database.unsubscribe_invalidation(self._on_catalog_mutation)
+            self._closed = True
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Engine table
+    # ------------------------------------------------------------------ #
+    def add_engine(self, engine: EngineProtocol) -> None:
+        """Make ``engine`` available to this session (latest name wins)."""
+        self.engines[engine.name] = engine
+        # The candidate set changed; cached routing decisions are stale.
+        if hasattr(self, "_route_memo"):
+            self._route_memo.clear()
+
+    def engine_names(self) -> Tuple[str, ...]:
+        """Engines configured on this session, sorted."""
+        return tuple(sorted(self.engines))
+
+    # ------------------------------------------------------------------ #
+    # Routing
+    # ------------------------------------------------------------------ #
+    def _route(
+        self,
+        query: ConjunctiveQuery,
+        route: Optional[str],
+        signature: str,
+        with_estimates: bool = False,
+    ) -> RouteDecision:
+        """Route ``query``; auto decisions are memoised per signature.
+
+        Estimates are pure functions of (query structure, relation
+        statistics), so one decision per canonical signature holds until
+        the catalog mutates (the memo is cleared on invalidation events).
+        """
+        if route in (None, "auto"):
+            key = (signature, "auto")
+            if key not in self._route_memo:
+                self._route_memo[key] = self.router.choose(
+                    query, self.database, self.engines
+                )
+            return self._route_memo[key]
+        return self.router.pinned(
+            route, query, self.database, self.engines, with_estimates=with_estimates
+        )
+
+    # ------------------------------------------------------------------ #
+    # Single-statement execution
+    # ------------------------------------------------------------------ #
+    def execute(self, statement: object, route: str = "auto") -> ResultSet:
+        """Execute ``statement`` and return a lazy :class:`ResultSet`.
+
+        ``statement`` may be a :class:`Statement`, a ``ConjunctiveQuery``,
+        or a string (SQL, datalog, or a pattern name).  ``route="auto"``
+        picks the cheapest eligible engine from the cost estimates; any
+        configured engine name pins the choice.  Execution is deferred to
+        the first consumption of the ResultSet and memoised; the result
+        cache is consulted/populated at that moment.
+        """
+        stmt = coerce_statement(statement)
+        query = stmt.resolve(self.database)
+        self.database.validate_query(query)
+        signature = self.compiler.signature(query)
+        decision = self._route(query, route, signature)
+        engine = self.engines[decision.chosen]
+
+        def run() -> ExecutionOutcome:
+            cached = self.result_cache.get(signature)
+            if cached is not None:
+                return ExecutionOutcome(
+                    tuples=cached, cost=RESULT_REPLAY_COST, from_cache=True
+                )
+            plan = None
+            plan_cache_hit = False
+            compiled = False
+            if engine.plan_aware:
+                entry = self.plan_cache.get(signature)
+                if entry is None:
+                    _, canonical, plan = self.compiler.compile_canonical(query)
+                    self.plan_cache.put(signature, (canonical, plan))
+                    compiled = True
+                else:
+                    canonical, plan = entry
+                    plan_cache_hit = True
+                execution = engine.execute(canonical, self.database, plan=plan)
+            else:
+                # Plan-blind engines plan internally; the plan cache is
+                # neither consulted nor credited for them.
+                execution = engine.execute(query, self.database)
+            if not execution.plan_used:
+                plan_cache_hit = False
+            if execution.cacheable:
+                self.result_cache.put_result(
+                    signature, execution.tuples, query.relation_names()
+                )
+            return ExecutionOutcome(
+                tuples=execution.tuples,
+                cost=execution.cost,
+                from_cache=False,
+                stats=execution.stats,
+                plan=execution.plan if execution.plan is not None else plan,
+                report=execution.report,
+                count=execution.count,
+                plan_cache_hit=plan_cache_hit,
+                compiled=compiled,
+            )
+
+        return ResultSet(query, signature, engine.name, run, route=decision)
+
+    def explain(self, statement: object, route: str = "auto") -> Explanation:
+        """Describe how ``statement`` would run: route, costs and plan.
+
+        Explaining a plan-aware route compiles (and caches) the canonical
+        plan but executes nothing.
+        """
+        stmt = coerce_statement(statement)
+        query = stmt.resolve(self.database)
+        self.database.validate_query(query)
+        signature = self.compiler.signature(query)
+        decision = self._route(query, route, signature, with_estimates=True)
+        engine = self.engines[decision.chosen]
+        plan = None
+        if engine.plan_aware:
+            entry = self.plan_cache.get(signature)
+            if entry is None:
+                _, canonical, plan = self.compiler.compile_canonical(query)
+                self.plan_cache.put(signature, (canonical, plan))
+            else:
+                _canonical, plan = entry
+        estimate = decision.estimate_for(decision.chosen)
+        return Explanation(
+            statement=stmt,
+            query=query,
+            signature=signature,
+            decision=decision,
+            plan=plan,
+            estimated_cost_ns=estimate.cost_ns if estimate else float("nan"),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Concurrent serving (delegates to repro.service)
+    # ------------------------------------------------------------------ #
+    @property
+    def service(self):
+        """The session's :class:`~repro.service.QueryService` (lazily built).
+
+        The service shares this session's database, compiler, caches,
+        engine instances and — under ``routing="auto"`` — its cost router,
+        so the two execution paths reuse each other's cached plans and
+        results.
+        """
+        if self._service is None:
+            from repro.service.service import QueryService
+
+            self._service = QueryService(
+                self.database,
+                backends=tuple(self.engines.values()),
+                compiler=self.compiler,
+                plan_cache=self.plan_cache,
+                result_cache=self.result_cache,
+                max_in_flight=self.max_in_flight,
+                max_queue_depth=self.max_queue_depth,
+                seed=self.seed,
+                router=self.router if self.routing == "auto" else None,
+            )
+        return self._service
+
+    def serve(self, workload, seed: Optional[int] = None):
+        """Serve a workload through the service layer; outcomes by request id.
+
+        ``workload`` is either a :class:`~repro.service.WorkloadSpec` (a
+        seeded stream is generated from it) or an iterable of
+        :class:`~repro.service.WorkloadRequest`.
+        """
+        from repro.service.workload import WorkloadSpec, generate_requests, run_workload
+
+        if isinstance(workload, WorkloadSpec):
+            requests = generate_requests(workload, seed=seed if seed is not None else self.seed)
+        else:
+            requests = list(workload)
+        return run_workload(self.service, requests)
+
+    def report(self) -> str:
+        """The service report (serving metrics plus cache/admission lines)."""
+        return self.service.report()
+
+    # ------------------------------------------------------------------ #
+    # Catalog mutation
+    # ------------------------------------------------------------------ #
+    def insert(self, relation_name: str, rows) -> int:
+        """Insert tuples through the catalog; dependent cached results drop."""
+        return self.database.insert_into(relation_name, rows)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"Session(database={self.database.name!r}, "
+            f"engines={list(self.engine_names())}, routing={self.routing!r})"
+        )

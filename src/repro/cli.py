@@ -7,17 +7,26 @@ The CLI exposes the library's main entry points without writing any Python::
     python -m repro run cycle3 --dataset wiki --scale 0.02
     python -m repro run clique4 --dataset grqc --scale 0.02 --count-only
     python -m repro run path4 --edge-list my_graph.txt --engine ctj
+    python -m repro run cycle3 --dataset grqc --engine auto
+    python -m repro explain clique4 --dataset grqc --scale 0.01
     python -m repro experiment figure14 --scale 0.01
     python -m repro compare cycle4 --dataset bitcoin --scale 0.01
     python -m repro workload --dataset grqc --num-queries 200 --backends lftj ctj
+    python -m repro workload --dataset grqc --route auto --backends ctj triejax
     python -m repro version
 
-``run`` executes one pattern query either on the TrieJax accelerator model
-(default) or on one of the software engines; ``experiment`` regenerates one
-of the paper's tables/figures; ``compare`` pits TrieJax against the four
-baseline systems on a single workload; ``workload`` serves a seeded stream
-of mixed queries through the :mod:`repro.service` subsystem and prints the
-service report (latencies, queue waits, cache hit rates).
+``run`` executes one pattern query on any engine in the shared registry
+(:mod:`repro.api.engines`; ``auto`` routes on cost); ``explain`` prints the
+chosen route, per-engine cost estimates and the compiled plan without
+executing; ``experiment`` regenerates one of the paper's tables/figures;
+``compare`` pits TrieJax against the four baseline systems on a single
+workload; ``workload`` serves a seeded stream of mixed queries through the
+:mod:`repro.service` subsystem — rotating round-robin or cost-routed
+(``--route auto``) — and prints the service report (latencies, queue waits,
+cache hit rates).
+
+All engine names resolve through the single registry in
+:mod:`repro.api.engines`; the CLI keeps no private engine table.
 """
 
 from __future__ import annotations
@@ -25,16 +34,16 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 import repro
+from repro.api import AcceleratorEngine, Session, Statement, create_engine, engine_names
 from repro.baselines import default_baselines
-from repro.core import TrieJaxAccelerator, TrieJaxConfig
+from repro.core import TrieJaxConfig
 from repro.eval import EXPERIMENT_REGISTRY, ExperimentContext, format_table
 from repro.graphs import (
     DATASET_NAMES,
     EXTRA_PATTERN_NAMES,
-    PATTERN_NAMES,
     graph_database,
     load_dataset,
     load_snap_edge_list,
@@ -42,22 +51,7 @@ from repro.graphs import (
     table1_rows,
     table2_rows,
 )
-from repro.joins import CachedTrieJoin, GenericJoin, LeapfrogTrieJoin, PairwiseJoin
-from repro.service import (
-    BACKEND_NAMES,
-    QueryService,
-    WorkloadSpec,
-    generate_requests,
-    run_workload,
-)
-
-#: Software engines selectable from the command line.
-_ENGINES = {
-    "lftj": LeapfrogTrieJoin,
-    "ctj": CachedTrieJoin,
-    "generic": GenericJoin,
-    "pairwise": lambda: PairwiseJoin("hash"),
-}
+from repro.service import WorkloadSpec, generate_requests
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -85,8 +79,9 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--engine",
         default="triejax",
-        choices=["triejax"] + sorted(_ENGINES),
-        help="execution engine (default: the TrieJax accelerator model)",
+        choices=["auto"] + list(engine_names()),
+        help="execution engine from the shared registry, or 'auto' for "
+        "cost-based routing (default: the TrieJax accelerator model)",
     )
     run_parser.add_argument("--threads", type=int, default=32, help="hardware threads (triejax)")
     run_parser.add_argument(
@@ -94,6 +89,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument(
         "--show-results", type=int, default=0, metavar="N", help="print the first N result tuples"
+    )
+
+    explain_parser = subparsers.add_parser(
+        "explain", help="print the chosen route, plan and estimated cost of a query"
+    )
+    explain_parser.add_argument(
+        "query", help="pattern name (e.g. cycle3) or a datalog rule"
+    )
+    explain_parser.add_argument("--dataset", default="bitcoin", help="Table 2 dataset name")
+    explain_parser.add_argument("--scale", type=float, default=0.01, help="dataset scale (0-1]")
+    explain_parser.add_argument(
+        "--edge-list", default=None, help="explain over a SNAP edge-list file instead"
+    )
+    explain_parser.add_argument(
+        "--engines",
+        nargs="+",
+        default=None,
+        choices=list(engine_names()),
+        help="candidate engines (default: every registered engine)",
+    )
+    explain_parser.add_argument(
+        "--route",
+        default="auto",
+        help="'auto' (cost-based) or one engine name to pin",
     )
 
     experiment_parser = subparsers.add_parser(
@@ -133,8 +152,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--backends",
         nargs="+",
         default=["lftj", "ctj"],
-        choices=sorted(BACKEND_NAMES),
-        help="execution backends the service rotates through",
+        choices=list(engine_names()),
+        help="execution backends available to the service",
+    )
+    workload_parser.add_argument(
+        "--route",
+        default="rotate",
+        choices=["rotate", "auto"],
+        help="backend selection: round-robin rotation or cost-based routing",
     )
     workload_parser.add_argument(
         "--mode",
@@ -192,38 +217,63 @@ def _load_database(args) -> object:
     return graph_database(graph)
 
 
+def _session_engines(args) -> list:
+    """Instantiate every registry engine, honouring the run flags.
+
+    The accelerator instance carries the CLI's thread count, dataset label
+    and (for ``--count-only``) the on-chip aggregation mode; every other
+    engine comes straight from the shared registry.
+    """
+    engines = []
+    for name in engine_names():
+        if name == "triejax":
+            engines.append(
+                AcceleratorEngine(
+                    TrieJaxConfig(num_threads=args.threads),
+                    aggregate="count" if args.count_only else None,
+                    dataset_name=args.dataset if not args.edge_list else None,
+                )
+            )
+        else:
+            engines.append(create_engine(name))
+    return engines
+
+
 def _cmd_run(args) -> int:
     database = _load_database(args)
-    query = pattern_query(args.query)
-    print(f"query: {query.to_datalog()}")
-
-    if args.engine == "triejax":
-        config = TrieJaxConfig(num_threads=args.threads)
-        accelerator = TrieJaxAccelerator(config)
-        outcome = accelerator.run(
-            query,
-            database,
-            dataset_name=args.dataset if not args.edge_list else None,
-            aggregate="count" if args.count_only else None,
-        )
-        print(f"matches: {outcome.cardinality}")
-        print(outcome.report.summary())
-        tuples = outcome.tuples
-    else:
-        engine = _ENGINES[args.engine]()
-        result = engine.run(query, database)
-        print(f"matches: {result.cardinality}")
+    statement = Statement.pattern(args.query)
+    session = Session(database, engines=_session_engines(args))
+    result = session.execute(statement, route=args.engine)
+    print(f"query: {result.query.to_datalog()}")
+    print(f"matches: {result.cardinality}")
+    if args.engine == "auto":
+        print(f"routed to: {result.backend}")
+    if result.report is not None:
+        print(result.report.summary())
+    elif result.stats is not None:
         stats = result.stats
         print(
             f"  intermediate results: {stats.intermediate_results}\n"
             f"  index element reads : {stats.index_element_reads}\n"
             f"  cache hits/lookups  : {stats.cache_hits}/{stats.cache_lookups}"
         )
-        tuples = result.tuples
 
     if args.show_results > 0:
-        for row in tuples[: args.show_results]:
+        for row in result.to_list()[: args.show_results]:
             print("  " + ", ".join(str(v) for v in row))
+    return 0
+
+
+def _cmd_explain(args) -> int:
+    database = _load_database(args)
+    session = Session(database, engines=args.engines)
+    statement = (
+        Statement.from_datalog(args.query)
+        if "(" in args.query
+        else Statement.pattern(args.query)
+    )
+    explanation = session.explain(statement, route=args.route)
+    print(explanation.describe())
     return 0
 
 
@@ -276,12 +326,13 @@ def _cmd_compare(args) -> int:
 
 def _cmd_workload(args) -> int:
     database = _load_database(args)
-    service = QueryService(
+    session = Session(
         database,
-        backends=tuple(args.backends),
+        engines=tuple(args.backends),
         max_in_flight=args.max_in_flight,
         max_queue_depth=args.max_queue_depth,
         seed=args.seed,
+        routing=args.route if args.route == "auto" else "rotate",
     )
     spec_kwargs = {
         "num_queries": args.num_queries,
@@ -292,13 +343,13 @@ def _cmd_workload(args) -> int:
         spec_kwargs["queries"] = tuple(args.queries)
     requests = generate_requests(WorkloadSpec(**spec_kwargs), seed=args.seed)
     started = time.perf_counter()
-    outcomes = run_workload(service, requests)
+    outcomes = session.serve(requests)
     elapsed = time.perf_counter() - started
     print(f"served {len(outcomes)} requests in {elapsed:.2f}s wall "
           f"({len(outcomes) / elapsed:.1f} queries/sec)")
-    if service.rejected_requests:
-        print(f"rejected {len(service.rejected_requests)} requests (bounded queue)")
-    print(service.report())
+    if session.service.rejected_requests:
+        print(f"rejected {len(session.service.rejected_requests)} requests (bounded queue)")
+    print(session.report())
     return 0
 
 
@@ -319,6 +370,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_version()
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "explain":
+        return _cmd_explain(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
     if args.command == "compare":

@@ -21,7 +21,7 @@ from typing import Dict
 from repro.memory.dram import DRAMConfig
 from repro.memory.energy import EnergyConstants
 from repro.memory.hierarchy import HierarchyConfig
-from repro.util.validation import check_in_range, check_positive
+from repro.util.validation import check_positive
 
 #: Multithreading schemes supported by the scheduler (Section 3.4).
 MT_SCHEMES = ("static", "dynamic", "hybrid")

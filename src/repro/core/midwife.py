@@ -10,7 +10,7 @@ enforces that replication through the component's unit count.
 
 from __future__ import annotations
 
-from typing import Iterator, Tuple
+from typing import Iterator
 
 from repro.core.config import TrieJaxConfig
 from repro.core.operations import Operation

@@ -21,9 +21,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.eval.harness import ExperimentContext
 from repro.eval.metrics import reduction, speedup, summarise_ratios
 from repro.eval.reporting import format_ratio_summary, format_table
-from repro.graphs.datasets import dataset_spec, table2_rows
+from repro.graphs.datasets import table2_rows
 from repro.graphs.patterns import table1_rows
-from repro.joins import CachedTrieJoin, PairwiseJoin
 
 #: Component order of the Figure 15 energy stack.
 ENERGY_COMPONENTS: Tuple[str, ...] = ("DRAM", "LLC", "L2", "L1", "PJR cache", "TrieJaxCore")
@@ -385,16 +384,13 @@ def figure18(
 ) -> ExperimentResult:
     """Figure 18: intermediate results generated by CTJ vs the pairwise join."""
     ctx = _context(context)
-    ctj_engine = CachedTrieJoin()
-    pairwise_engine = PairwiseJoin("hash")
     rows: List[Sequence[object]] = []
     ratios: Dict[str, List[float]] = {query: [] for query in queries}
     for query_name in queries:
         for dataset_name in datasets:
-            query = ctx.query(query_name)
-            database = ctx.database(dataset_name)
-            ctj_result = ctj_engine.run(query, database)
-            pairwise_result = pairwise_engine.run(query, database)
+            # Both engines resolve through the shared registry (memoised).
+            ctj_result = ctx.run_engine("ctj", query_name, dataset_name)
+            pairwise_result = ctx.run_engine("pairwise", query_name, dataset_name)
             ctj_ir = ctj_result.stats.intermediate_results
             pairwise_ir = pairwise_result.stats.intermediate_results
             rows.append((query_name, dataset_name, ctj_ir, pairwise_ir))

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.api.engines import EngineExecution, create_engine
 from repro.baselines import (
     BaselineResult,
     BaselineSystem,
@@ -64,6 +65,8 @@ class ExperimentContext:
         check_in_range("scale", self.scale, 1e-6, 1.0)
         self._databases: Dict[str, Database] = {}
         self._triejax_runs: Dict[Tuple[str, str], AcceleratorOutcome] = {}
+        self._engines: Dict[str, object] = {}
+        self._engine_runs: Dict[Tuple[str, str, str], EngineExecution] = {}
         self._baseline_runs: Dict[Tuple[str, str, str], BaselineResult] = {}
         self._baselines: Dict[str, BaselineSystem] = {
             "q100": Q100Model(),
@@ -112,6 +115,25 @@ class ExperimentContext:
         return accelerator.run(
             self.query(query_name), self.database(dataset_name), dataset_name=dataset_name
         )
+
+    def run_engine(
+        self, engine_name: str, query_name: str, dataset_name: str
+    ) -> EngineExecution:
+        """Run one registry engine on (query, dataset); memoised.
+
+        Engines resolve through the shared registry in
+        :mod:`repro.api.engines`, so the harness exercises exactly the same
+        execution paths the CLI and the serving layer expose.
+        """
+        key = (engine_name, query_name, dataset_name)
+        if key not in self._engine_runs:
+            if engine_name not in self._engines:
+                self._engines[engine_name] = create_engine(engine_name)
+            engine = self._engines[engine_name]
+            self._engine_runs[key] = engine.execute(
+                self.query(query_name), self.database(dataset_name)
+            )
+        return self._engine_runs[key]
 
     def run_baseline(
         self, system_name: str, query_name: str, dataset_name: str

@@ -9,7 +9,7 @@ summarises its series the same way.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Sequence
 
 
 def speedup(baseline_time: float, accelerated_time: float) -> float:

@@ -25,7 +25,7 @@ All generators take an explicit seed and are fully deterministic.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List
 
 from repro.graphs.graph import Graph
 from repro.util.rng import DeterministicRNG

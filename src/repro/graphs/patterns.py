@@ -17,7 +17,7 @@ form for the Table 1 reproduction.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 from repro.relational.query import Atom, ConjunctiveQuery
 

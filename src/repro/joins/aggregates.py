@@ -27,7 +27,7 @@ both on the software side (the accelerator's count-only mode lives in
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.joins.compiler import QueryCompiler

@@ -10,6 +10,14 @@ order), the compiled plan (when the engine uses one) and the
 :class:`~repro.joins.stats.JoinStats` counters the system models consume.
 Keeping the interface uniform lets the evaluation harness swap engines
 freely and lets the correctness tests compare any engine against the oracle.
+
+.. deprecated::
+    ``JoinEngine.run`` is no longer the repository's public entry point; it
+    is the internal SPI the algorithm implementations fill in.  Callers
+    should go through :class:`repro.api.Session` (or
+    :func:`repro.api.create_engine`, which wraps these engines behind the
+    unified :class:`repro.api.engines.EngineProtocol` with declared
+    capabilities and cost models).
 """
 
 from __future__ import annotations

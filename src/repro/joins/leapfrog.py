@@ -18,7 +18,7 @@ backtracking driver is Cupid.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.joins.base import JoinEngine, JoinResult
 from repro.joins.compiler import QueryCompiler

@@ -10,7 +10,7 @@ required to agree with it exactly.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.joins.base import JoinEngine, JoinResult
 from repro.joins.stats import JoinStats

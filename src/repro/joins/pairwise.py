@@ -19,7 +19,7 @@ when no connected atom remains.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.joins.base import JoinEngine, JoinResult
 from repro.joins.hash_join import hash_join

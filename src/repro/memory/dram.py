@@ -18,7 +18,7 @@ a latency in accelerator cycles while updating command counters.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Tuple
 
 from repro.util.validation import check_positive

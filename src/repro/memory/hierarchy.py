@@ -15,7 +15,7 @@ breakdown.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.memory.cache import CacheStats, SetAssociativeCache
 from repro.memory.dram import DRAMConfig, DRAMModel, DRAMStats

@@ -36,6 +36,11 @@ from repro.relational.statistics import (
     agm_exponent,
     database_statistics,
     fractional_edge_cover,
+    is_alpha_acyclic,
+    is_cyclic,
+    nested_loop_work_estimate,
+    pairwise_work_estimate,
+    wcoj_work_estimate,
 )
 
 __all__ = [
@@ -62,4 +67,9 @@ __all__ = [
     "agm_exponent",
     "database_statistics",
     "fractional_edge_cover",
+    "is_alpha_acyclic",
+    "is_cyclic",
+    "nested_loop_work_estimate",
+    "pairwise_work_estimate",
+    "wcoj_work_estimate",
 ]

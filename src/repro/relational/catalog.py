@@ -87,6 +87,18 @@ class Database:
         """Call ``callback(relation_name)`` whenever a relation is (re)defined or mutated."""
         self._invalidation_listeners.append(callback)
 
+    def unsubscribe_invalidation(self, callback: Callable[[str], None]) -> bool:
+        """Remove a previously subscribed callback; True if it was present.
+
+        Lets short-lived subscribers (e.g. a closed :class:`repro.api.Session`)
+        detach, so a long-lived catalog does not accumulate dead listeners.
+        """
+        try:
+            self._invalidation_listeners.remove(callback)
+            return True
+        except ValueError:
+            return False
+
     def _invalidate(self, relation_name: str) -> None:
         stale = [key for key in self._trie_cache if key[0] == relation_name]
         for key in stale:

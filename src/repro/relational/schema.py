@@ -9,7 +9,7 @@ positions to trie levels.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Sequence, Tuple
 
 from repro.util.validation import check_not_empty, check_unique

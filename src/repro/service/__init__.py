@@ -28,6 +28,15 @@ Quick start::
     requests = generate_requests(WorkloadSpec(num_queries=100), seed=7)
     outcomes = run_workload(service, requests)
     print(service.report())
+
+.. deprecated::
+    The backend classes and registry re-exported here
+    (``ExecutionBackend``, ``BackendExecution``, ``SoftwareBackend``,
+    ``AcceleratorBackend``, ``BACKEND_FACTORIES``, ``create_backend``) are
+    aliases of their new homes in :mod:`repro.api.engines`; import from
+    :mod:`repro.api` in new code.  :class:`QueryService` itself is most
+    conveniently reached through :meth:`repro.api.Session.serve`, which
+    shares the session's caches and cost router.
 """
 
 from repro.service.admission import (

@@ -1,174 +1,49 @@
-"""Pluggable execution backends for the query service.
+"""DEPRECATED shim: the engine layer moved to :mod:`repro.api.engines`.
 
-Every backend wraps one of the repository's execution paths — the software
-join engines (:mod:`repro.joins`) or the TrieJax accelerator timing model
-(:mod:`repro.core`) — behind one uniform call::
+This module used to define the service's private backend table.  The
+unified engine protocol and the repository's **single** engine registry now
+live in :mod:`repro.api.engines`; everything here is a thin alias kept for
+backwards compatibility and will be removed in a future release:
 
-    execution = backend.execute(query, database, plan=plan)
+=========================  =============================================
+old name                   new home
+=========================  =============================================
+``ExecutionBackend``       :class:`repro.api.engines.EngineProtocol`
+``BackendExecution``       :class:`repro.api.engines.EngineExecution`
+``SoftwareBackend``        :class:`repro.api.engines.SoftwareEngine`
+``AcceleratorBackend``     :class:`repro.api.engines.AcceleratorEngine`
+``BACKEND_FACTORIES``      :data:`repro.api.engines.ENGINE_FACTORIES`
+``create_backend``         :func:`repro.api.engines.create_engine`
+=========================  =============================================
 
-returning a :class:`BackendExecution` that carries the result tuples plus a
-**deterministic service cost**.  The cost is what the service's virtual-time
-simulation uses as the request's service time, so it must be a pure function
-of the (query, database) pair, and every backend expresses it in the same
-unit — **modelled nanoseconds** — so that mixed-backend services share one
-meaningful virtual clock:
-
-* software engines charge their algorithm-level counters (index element
-  reads + intermediate results + output tuples) scaled by
-  ``ns_per_work_unit`` (default 1.0: a nominal one-operation-per-ns
-  software model — coarse, but deterministic and order-preserving);
-* the accelerator backend charges the timing model's simulated runtime in
-  nanoseconds directly.
-
-The registry (:data:`BACKEND_FACTORIES`, :func:`create_backend`) extends the
-CLI's original engine table with the naive oracle and the accelerator, and
-is the single place new execution paths plug into the serving layer.
+``BACKEND_FACTORIES`` *is* ``ENGINE_FACTORIES`` (the same dict), so engines
+registered through :func:`repro.api.engines.register_engine` are visible
+here too.  New code should import from :mod:`repro.api` instead.
 """
 
 from __future__ import annotations
 
-import abc
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Tuple
 
-from repro.core import TrieJaxAccelerator, TrieJaxConfig
-from repro.joins import (
-    CachedTrieJoin,
-    GenericJoin,
-    JoinEngine,
-    LeapfrogTrieJoin,
-    NaiveJoin,
-    PairwiseJoin,
+from repro.api.engines import (
+    AcceleratorEngine as AcceleratorBackend,
+    ENGINE_FACTORIES as BACKEND_FACTORIES,
+    EngineExecution as BackendExecution,
+    EngineProtocol as ExecutionBackend,
+    SoftwareEngine as SoftwareBackend,
+    create_engine as create_backend,
+    engine_names,
 )
-from repro.joins.plan import JoinPlan
-from repro.relational.catalog import Database
-from repro.relational.query import ConjunctiveQuery
-
-
-@dataclass
-class BackendExecution:
-    """Outcome of one backend execution.
-
-    ``cost`` is the deterministic service time charged to the request (see
-    module docstring for units); ``plan_used`` records whether the backend
-    consumed the precompiled plan it was handed (plan-blind backends such as
-    the naive oracle ignore plans, and the plan cache should not count a hit
-    for them).
-    """
-
-    tuples: List[Tuple[int, ...]]
-    cost: float
-    plan_used: bool
-
-    @property
-    def cardinality(self) -> int:
-        return len(self.tuples)
-
-
-class ExecutionBackend(abc.ABC):
-    """One way of executing a conjunctive query for the service."""
-
-    #: Registry / report name.
-    name: str = "backend"
-    #: Whether :meth:`execute` can consume a precompiled canonical plan.
-    plan_aware: bool = False
-
-    @abc.abstractmethod
-    def execute(
-        self,
-        query: ConjunctiveQuery,
-        database: Database,
-        plan: Optional[JoinPlan] = None,
-    ) -> BackendExecution:
-        """Run ``query`` (compiled as ``plan`` when plan-aware) and cost it."""
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging helper
-        return f"{type(self).__name__}(name={self.name!r})"
-
-
-class SoftwareBackend(ExecutionBackend):
-    """A backend wrapping one of the software join engines.
-
-    Plan-aware engines (LFTJ, CTJ, Generic Join) accept the canonical plan
-    from the service's plan cache; plan-blind engines (naive, pairwise)
-    compile/execute on their own and the plan argument is ignored.
-
-    ``ns_per_work_unit`` converts the engine's abstract work counters into
-    the service-wide modelled-nanosecond clock (see module docstring).
-    """
-
-    def __init__(self, engine: JoinEngine, plan_aware: bool, ns_per_work_unit: float = 1.0):
-        self.engine = engine
-        self.name = engine.name
-        self.plan_aware = plan_aware
-        self.ns_per_work_unit = ns_per_work_unit
-
-    def execute(
-        self,
-        query: ConjunctiveQuery,
-        database: Database,
-        plan: Optional[JoinPlan] = None,
-    ) -> BackendExecution:
-        if self.plan_aware:
-            result = self.engine.run(query, database, plan=plan)
-        else:
-            result = self.engine.run(query, database)
-        stats = result.stats
-        work_units = (
-            1
-            + stats.index_element_reads
-            + stats.intermediate_results
-            + result.cardinality
-        )
-        cost = work_units * self.ns_per_work_unit
-        return BackendExecution(result.tuples, cost, self.plan_aware and plan is not None)
-
-
-class AcceleratorBackend(ExecutionBackend):
-    """The TrieJax accelerator timing model as a serving backend.
-
-    The cost is the timing model's simulated runtime in nanoseconds — the
-    paper's hardware numbers, not host wall-clock — which is also the
-    service-wide virtual time unit.
-    """
-
-    name = "triejax"
-    plan_aware = True
-
-    def __init__(self, config: Optional[TrieJaxConfig] = None):
-        self.accelerator = TrieJaxAccelerator(config)
-
-    def execute(
-        self,
-        query: ConjunctiveQuery,
-        database: Database,
-        plan: Optional[JoinPlan] = None,
-    ) -> BackendExecution:
-        outcome = self.accelerator.run(query, database, plan=plan)
-        cost = max(1.0, outcome.report.runtime_ns)
-        return BackendExecution(outcome.tuples, cost, plan is not None)
-
-
-#: Factories for every registered backend, by name.
-BACKEND_FACTORIES: Dict[str, Callable[[], ExecutionBackend]] = {
-    "naive": lambda: SoftwareBackend(NaiveJoin(), plan_aware=False),
-    "lftj": lambda: SoftwareBackend(LeapfrogTrieJoin(), plan_aware=True),
-    "ctj": lambda: SoftwareBackend(CachedTrieJoin(), plan_aware=True),
-    "generic": lambda: SoftwareBackend(GenericJoin(), plan_aware=True),
-    "pairwise": lambda: SoftwareBackend(PairwiseJoin("hash"), plan_aware=False),
-    "triejax": lambda: AcceleratorBackend(),
-}
 
 #: Registered backend names, sorted for stable CLI choice lists.
-BACKEND_NAMES: Tuple[str, ...] = tuple(sorted(BACKEND_FACTORIES))
+BACKEND_NAMES: Tuple[str, ...] = engine_names()
 
-
-def create_backend(name: str) -> ExecutionBackend:
-    """Instantiate the backend registered under ``name``."""
-    try:
-        factory = BACKEND_FACTORIES[name]
-    except KeyError:
-        raise KeyError(
-            f"unknown backend {name!r}; registered backends: {', '.join(BACKEND_NAMES)}"
-        ) from None
-    return factory()
+__all__ = [
+    "AcceleratorBackend",
+    "BACKEND_FACTORIES",
+    "BACKEND_NAMES",
+    "BackendExecution",
+    "ExecutionBackend",
+    "SoftwareBackend",
+    "create_backend",
+]

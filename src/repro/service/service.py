@@ -32,12 +32,13 @@ import heapq
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.api.engines import EngineProtocol as ExecutionBackend
+from repro.api.engines import create_engine as create_backend
 from repro.joins.compiler import QueryCompiler
 from repro.relational.catalog import Database
 from repro.relational.query import ConjunctiveQuery
 from repro.service.admission import AdmissionController
 from repro.service.caches import PlanCache, ResultCache
-from repro.service.engines import ExecutionBackend, create_backend
 from repro.service.metrics import QueryRecord, ServiceMetrics
 
 #: Virtual-time cost charged to a request answered from the result cache.
@@ -78,10 +79,22 @@ class QueryService:
         dependent result-cache entries (compiled plans survive — they
         depend only on query structure, never on data).
     backends:
-        Backend names (resolved via the registry) and/or ready
-        :class:`~repro.service.engines.ExecutionBackend` instances.
-        Requests that do not pin a backend rotate round-robin through this
-        list, in order.
+        Backend names (resolved via the shared registry in
+        :mod:`repro.api.engines`) and/or ready
+        :class:`~repro.api.engines.EngineProtocol` instances.  Requests
+        that do not pin a backend either rotate round-robin through this
+        list (the default) or, when ``router`` is given, go to the engine
+        the cost router picks for each query.
+    router:
+        A :class:`repro.api.routing.CostRouter` (or compatible) used to
+        choose the backend of unpinned requests from the statistics-based
+        cost estimates; ``None`` keeps the legacy round-robin rotation.
+    plan_cache / result_cache:
+        Externally owned caches to share (used by
+        :class:`repro.api.Session` so its synchronous path and the service
+        reuse each other's plans and results).  When a result cache is
+        passed in, the caller owns its invalidation wiring and the service
+        does not subscribe it again.
     max_in_flight / max_queue_depth / seed:
         Admission-control knobs (see
         :class:`~repro.service.admission.AdmissionController`).
@@ -97,19 +110,22 @@ class QueryService:
         max_in_flight: int = 4,
         max_queue_depth: Optional[int] = None,
         seed: int = 2020,
+        plan_cache: Optional[PlanCache] = None,
+        result_cache: Optional[ResultCache] = None,
+        router=None,
     ):
         if not backends:
             raise ValueError("QueryService needs at least one backend")
         self.database = database
         self.compiler = compiler or QueryCompiler(enable_caching=True)
+        self.router = router
         self.backends: Dict[str, ExecutionBackend] = {}
         self._rotation: List[str] = []
         for entry in backends:
             backend = create_backend(entry) if isinstance(entry, str) else entry
             self.backends[backend.name] = backend
             self._rotation.append(backend.name)
-        self.plan_cache = PlanCache(plan_cache_capacity)
-        self.result_cache = ResultCache(result_cache_capacity)
+        self.plan_cache = plan_cache if plan_cache is not None else PlanCache(plan_cache_capacity)
         self.admission: AdmissionController[ServiceRequest] = AdmissionController(
             max_in_flight=max_in_flight, max_queue_depth=max_queue_depth, seed=seed
         )
@@ -120,7 +136,11 @@ class QueryService:
         self._next_rotation = 0
         self._last_arrival = 0.0
         self._clock = 0.0
-        database.subscribe_invalidation(self.result_cache.invalidate_relation)
+        if result_cache is not None:
+            self.result_cache = result_cache
+        else:
+            self.result_cache = ResultCache(result_cache_capacity)
+            database.subscribe_invalidation(self.result_cache.invalidate_relation)
 
     # ------------------------------------------------------------------ #
     # Submission
@@ -243,6 +263,9 @@ class QueryService:
     def _choose_backend(self, request: ServiceRequest) -> ExecutionBackend:
         if request.backend is not None:
             return self.backends[request.backend]
+        if self.router is not None:
+            decision = self.router.choose(request.query, self.database, self.backends)
+            return self.backends[decision.chosen]
         name = self._rotation[self._next_rotation % len(self._rotation)]
         self._next_rotation += 1
         return self.backends[name]
@@ -290,7 +313,12 @@ class QueryService:
                 execution = backend.execute(query, self.database)
             tuples = execution.tuples
             service_time = execution.cost
-            cache_entry = (signature, tuples, query.relation_names())
+            # A backend that ignored the plan it was handed must not be
+            # credited with a plan-cache hit (see repro.api.engines:
+            # EngineExecution.plan_used).
+            plan_cache_hit = plan_cache_hit and execution.plan_used
+            if execution.cacheable:
+                cache_entry = (signature, tuples, query.relation_names())
 
         record = QueryRecord(
             request_id=request.request_id,

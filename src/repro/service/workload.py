@@ -22,7 +22,7 @@ so a (spec, seed) pair always regenerates the same stream.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.graphs import PATTERN_NAMES, community_graph, graph_database, pattern_query
 from repro.relational.catalog import Database

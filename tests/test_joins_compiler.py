@@ -3,7 +3,8 @@
 import pytest
 
 from repro.graphs import pattern_query
-from repro.joins import CacheSpec, JoinPlan, QueryCompiler, compile_query
+from repro.joins import JoinPlan, QueryCompiler, compile_query
+from repro.joins.compiler import canonical_form, canonical_signature
 from repro.relational import Atom, ConjunctiveQuery
 
 
@@ -150,3 +151,62 @@ class TestJoinPlan:
             compiler.compile_and_validate(
                 pattern_query("path3", edge_relation="missing"), small_community_db
             )
+
+
+class TestCanonicalizationEdgeCases:
+    """α-equivalence corner cases of canonical_form / canonical_signature."""
+
+    def test_repeated_variable_within_atom_is_alpha_equivalent(self):
+        # R(x, x) and R(y, y) are the same query; R(x, y) is not.
+        loop_x = ConjunctiveQuery("a", ("x",), [Atom("R", ("x", "x"))])
+        loop_y = ConjunctiveQuery("b", ("y",), [Atom("R", ("y", "y"))])
+        edge = ConjunctiveQuery("c", ("x", "y"), [Atom("R", ("x", "y"))])
+        assert canonical_signature(loop_x) == canonical_signature(loop_y)
+        assert canonical_signature(loop_x) != canonical_signature(edge)
+        canonical = canonical_form(loop_x)
+        assert canonical.atoms[0].variables == ("v0", "v0")
+
+    def test_repeated_variable_across_positions_preserved(self):
+        # The repetition *pattern* must survive renaming: R(x, y, x) cannot
+        # collide with R(x, y, z).
+        twisted = ConjunctiveQuery("t", ("x", "y"), [Atom("R", ("x", "y", "x"))])
+        straight = ConjunctiveQuery("s", ("x", "y"), [Atom("R", ("x", "y", "z"))])
+        assert canonical_signature(twisted) != canonical_signature(straight)
+
+    def test_self_join_of_same_relation(self):
+        # A self-join E ⋈ E keeps both atoms distinct in the canonical form,
+        # and is α-equivalent under renaming of either side.
+        a = ConjunctiveQuery(
+            "a", ("x", "y", "z"), [Atom("E", ("x", "y")), Atom("E", ("y", "z"))]
+        )
+        b = ConjunctiveQuery(
+            "b", ("p", "q", "r"), [Atom("E", ("p", "q")), Atom("E", ("q", "r"))]
+        )
+        assert canonical_signature(a) == canonical_signature(b)
+        # Self-join differs from the same shape over distinct relations.
+        multi = ConjunctiveQuery(
+            "m", ("x", "y", "z"), [Atom("E", ("x", "y")), Atom("F", ("y", "z"))]
+        )
+        assert canonical_signature(a) != canonical_signature(multi)
+
+    def test_head_variable_permutations_are_distinct(self):
+        # Permuting the head changes the output column order, so permuted
+        # heads must not share a signature (or a cached result).
+        base = pattern_query("cycle3")
+        flipped = ConjunctiveQuery(
+            "cycle3_flipped", tuple(reversed(base.head_variables)), base.atoms
+        )
+        assert canonical_signature(base) != canonical_signature(flipped)
+
+    def test_head_projection_subset_distinct_from_full(self):
+        full = pattern_query("path3")
+        projected = ConjunctiveQuery("p", ("x", "z"), full.atoms)
+        assert canonical_signature(full) != canonical_signature(projected)
+
+    def test_canonical_form_idempotent(self):
+        query = pattern_query("clique4")
+        once = canonical_form(query)
+        twice = canonical_form(once)
+        assert canonical_signature(once) == canonical_signature(twice)
+        assert once.head_variables == twice.head_variables
+        assert once.atoms == twice.atoms

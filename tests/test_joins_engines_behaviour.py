@@ -10,7 +10,7 @@ natural joins.
 
 import pytest
 
-from repro.graphs import community_graph, edges_database, graph_database, pattern_query
+from repro.graphs import community_graph, edges_database, pattern_query
 from repro.joins import (
     CachedTrieJoin,
     GenericJoin,

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.joins import NaiveJoin, QueryCompiler
-from repro.joins.compiler import canonical_form, canonical_signature
+from repro.joins.compiler import canonical_signature
 from repro.relational.query import Atom, ConjunctiveQuery
 from repro.service import (
     AdmissionController,
