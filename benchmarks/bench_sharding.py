@@ -1,0 +1,95 @@
+"""Sharding throughput: virtual-time speedup of scatter-gather vs shard count.
+
+The benchmark serves the same seeded mixed workload through
+:class:`repro.service.QueryService` over a monolithic catalog and over
+hash-sharded catalogs with 2 and 4 shards, and reports:
+
+* host wall-clock throughput (queries/sec) as the pytest-benchmark number;
+* the service's **virtual-time makespan** and throughput in ``extra_info``
+  — the number that actually models the scatter-gather win: shard tasks run
+  concurrently in virtual time, so the critical path per query shrinks with
+  the shard count (while the Python host, which executes shard tasks
+  sequentially, pays a wall-clock cost for the fan-out).
+
+All randomness derives from the harness seed (``REPRO_BENCH_SEED``), so the
+workload, the partitioning and the admission lottery are identical
+run-to-run.
+"""
+
+import pytest
+
+from repro.relational import shard_database
+from repro.service import (
+    QueryService,
+    WorkloadSpec,
+    generate_requests,
+    run_workload,
+    workload_database,
+)
+
+#: Stream length per shard-count configuration.
+NUM_QUERIES = 120
+
+#: Backends the service rotates through.
+BACKENDS = ("lftj", "ctj")
+
+#: Shard counts swept by the benchmark (1 = the monolithic baseline).
+SHARD_COUNTS = (1, 2, 4)
+
+
+@pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+def test_sharding_throughput(benchmark, bench_seed, bench_rng, num_shards):
+    database = workload_database(
+        num_vertices=60, num_edges=300, seed=bench_rng.fork(1).seed
+    )
+    catalog = (
+        database
+        if num_shards == 1
+        else shard_database(database, num_shards, partitioner="hash")
+    )
+    # Closed loop + an update mix: without mutations the 5 distinct
+    # patterns collapse into result-cache replays after one round and every
+    # configuration measures cache latency; the inserts keep invalidating,
+    # so engines (and the scatter fan-out) stay on the measured path.
+    spec = WorkloadSpec(
+        num_queries=NUM_QUERIES,
+        mode="closed",
+        rename_fraction=0.5,
+        update_fraction=0.15,
+        update_domain=60,
+    )
+    requests = generate_requests(spec, seed=bench_rng.fork(2).seed)
+
+    def serve_stream():
+        service = QueryService(
+            catalog, backends=BACKENDS, max_in_flight=4, seed=bench_seed
+        )
+        outcomes = run_workload(service, requests)
+        return service, outcomes
+
+    service, outcomes = benchmark.pedantic(serve_stream, rounds=1, iterations=1)
+
+    num_query_requests = sum(1 for r in requests if r.kind == "query")
+    assert len(outcomes) == num_query_requests
+    if num_shards > 1:
+        assert service.scatter is not None
+
+    elapsed = benchmark.stats.stats.mean
+    wall_qps = num_query_requests / elapsed
+    makespan_ns = service.metrics.makespan
+    virtual_throughput = num_query_requests / makespan_ns if makespan_ns else 0.0
+    print()
+    print(
+        f"shards={num_shards}: {wall_qps:.1f} queries/sec wall, "
+        f"virtual makespan {makespan_ns:.0f} ns "
+        f"({virtual_throughput * 1e6:.2f} queries/ms virtual)"
+    )
+    print(service.report())
+
+    benchmark.extra_info["num_shards"] = num_shards
+    benchmark.extra_info["queries_per_sec_wall"] = round(wall_qps, 1)
+    benchmark.extra_info["virtual_makespan_ns"] = round(makespan_ns, 1)
+    benchmark.extra_info["virtual_queries_per_ms"] = round(virtual_throughput * 1e6, 3)
+    benchmark.extra_info["result_cache_hit_rate"] = round(
+        service.metrics.result_cache_hit_rate(), 3
+    )

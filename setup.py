@@ -11,13 +11,13 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro",
-    version="1.1.0",
+    version="1.2.0",
     description=(
         "Reproduction of the TrieJax architecture: WCOJ-based graph pattern "
         "matching acceleration (ASPLOS 2020)"
     ),
     package_dir={"": "src"},
     packages=find_packages(where="src"),
-    python_requires=">=3.9",
+    python_requires=">=3.10",
     install_requires=["numpy>=1.20"],
 )

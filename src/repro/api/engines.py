@@ -88,7 +88,10 @@ class EngineExecution:
     precompiled plan it was handed (plan-blind engines ignore plans, and
     the plan cache must not count a hit for them); ``cacheable`` is False
     for executions whose tuples are not the full result set (for example
-    count-only aggregation) and therefore must not enter the result cache.
+    count-only aggregation) and therefore must not enter the result cache;
+    ``scatter`` carries the per-shard work breakdown
+    (:class:`repro.service.scatter.ScatterGatherStats`) when the execution
+    was fanned out over a sharded catalog.
     """
 
     tuples: List[Tuple[int, ...]]
@@ -99,6 +102,7 @@ class EngineExecution:
     report: Optional[object] = None
     count: Optional[int] = None
     cacheable: bool = True
+    scatter: Optional[object] = None
 
     @property
     def cardinality(self) -> int:

@@ -35,6 +35,7 @@ class ExecutionOutcome:
     count: Optional[int] = None
     plan_cache_hit: bool = False
     compiled: bool = False
+    scatter: Optional[object] = None
 
 
 class ResultSet:
@@ -114,6 +115,16 @@ class ResultSet:
     def report(self) -> Optional[object]:
         """The accelerator run report, when the engine produced one."""
         return self._force().report
+
+    @property
+    def shard_stats(self) -> Optional[object]:
+        """Per-shard work breakdown of a scatter-gather execution.
+
+        A :class:`repro.service.scatter.ScatterGatherStats` when the
+        statement ran over a sharded catalog; ``None`` for monolithic
+        executions and cache replays.
+        """
+        return self._force().scatter
 
     @property
     def cost(self) -> float:

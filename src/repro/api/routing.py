@@ -23,12 +23,14 @@ from typing import Mapping, Optional, Tuple
 from repro.api.engines import EngineProtocol
 from repro.relational.catalog import Database
 from repro.relational.query import ConjunctiveQuery
+from repro.relational.sharding import SCATTER_DISPATCH_COST_NS
 from repro.relational.statistics import (
     active_domain_size,
     has_repeated_atom_variables,
     is_cyclic,
     nested_loop_work_estimate,
     pairwise_work_estimate,
+    scatter_work_estimate,
     wcoj_work_estimate,
 )
 
@@ -48,13 +50,20 @@ _WORK_MODELS = {
 
 @dataclass(frozen=True)
 class EngineEstimate:
-    """One engine's price for one query."""
+    """One engine's price for one query.
+
+    ``shards`` is 1 for a monolithic execution; greater values mean the
+    engine was priced for scatter-gather over a sharded catalog, in which
+    case ``work`` is the critical-path (slowest-shard) work plus the
+    per-shard dispatch charge.
+    """
 
     engine: str
     work: float
     cost_ns: float
     eligible: bool
     reason: str
+    shards: int = 1
 
 
 @dataclass(frozen=True)
@@ -111,6 +120,7 @@ class CostRouter:
         """
         cyclic = is_cyclic(query)
         repeated = has_repeated_atom_variables(query)
+        num_shards = getattr(database, "num_shards", 1)
         domain: Optional[int] = None
         work_by_model: dict = {}
         estimates = []
@@ -127,15 +137,38 @@ class CostRouter:
                 continue
             work_model = model.work_model if model.work_model in _WORK_MODELS else "wcoj"
             if work_model not in work_by_model:
-                if work_model != "nested-loop" and domain is None:
-                    domain = active_domain_size(database, query)
-                work_by_model[work_model] = _WORK_MODELS[work_model](
-                    query, database, domain
+                # Sharded catalogs price the scatter-gather plan: shards run
+                # in parallel, so the slowest shard's work is the critical
+                # path, plus a fixed dispatch charge per shard task.
+                scatter = (
+                    scatter_work_estimate(query, database, work_model)
+                    if num_shards > 1
+                    else None
                 )
-            work = work_by_model[work_model]
+                if scatter is not None:
+                    work_by_model[work_model] = (scatter.parallel, num_shards)
+                else:
+                    if work_model != "nested-loop" and domain is None:
+                        domain = active_domain_size(database, query)
+                    work_by_model[work_model] = (
+                        _WORK_MODELS[work_model](query, database, domain),
+                        1,
+                    )
+            work, shards = work_by_model[work_model]
             penalty = model.cyclic_penalty if cyclic else 1.0
-            cost = model.offload_overhead_ns + work * model.ns_per_unit * penalty
-            estimates.append(EngineEstimate(name, work, cost, True, model.work_model))
+            # The dispatch charge is already in nanoseconds and engine-
+            # independent (it matches the executor's flat per-task cost),
+            # so it is added after the engine's work scaling, not inside it.
+            dispatch_ns = SCATTER_DISPATCH_COST_NS * shards if shards > 1 else 0.0
+            cost = (
+                model.offload_overhead_ns
+                + work * model.ns_per_unit * penalty
+                + dispatch_ns
+            )
+            reason = model.work_model if shards == 1 else (
+                f"{model.work_model}, scatter-gather x{shards}"
+            )
+            estimates.append(EngineEstimate(name, work, cost, True, reason, shards))
         return cyclic, tuple(estimates)
 
     def choose(

@@ -31,9 +31,11 @@ from repro.api.routing import CostRouter, RouteDecision
 from repro.api.statement import Statement, coerce_statement
 from repro.joins.compiler import QueryCompiler
 from repro.joins.plan import JoinPlan
-from repro.relational.catalog import Database
+from repro.relational.catalog import Database, MutationEvent
 from repro.relational.query import ConjunctiveQuery
+from repro.relational.sharding import ShardedDatabase, shard_database
 from repro.service.caches import PlanCache, ResultCache
+from repro.service.scatter import ScatterGatherExecutor
 from repro.service.service import RESULT_REPLAY_COST
 
 
@@ -79,6 +81,13 @@ class Session:
     routing:
         ``"auto"`` (default) routes unpinned work through the cost router;
         ``"rotate"`` keeps the legacy round-robin when serving workloads.
+    shards / partitioner:
+        ``shards > 1`` re-partitions the database into a
+        :class:`~repro.relational.sharding.ShardedDatabase` (``"hash"`` or
+        ``"range"`` over each relation's first attribute) and executes
+        statements by scatter-gather; a database that is already sharded is
+        used as-is.  The session keeps a shard-aware partial-result cache,
+        so mutating one shard re-executes only that shard's fragment.
     max_in_flight / max_queue_depth / seed:
         Admission-control knobs for :meth:`serve`.
     """
@@ -95,10 +104,16 @@ class Session:
         max_queue_depth: Optional[int] = None,
         seed: int = 2020,
         routing: str = "auto",
+        shards: int = 1,
+        partitioner: str = "hash",
     ):
         if routing not in ("auto", "rotate"):
             raise ValueError(f"routing must be 'auto' or 'rotate', got {routing!r}")
-        self.database = database if database is not None else Database("session")
+        if database is None:
+            database = Database("session")
+        if shards > 1 and not isinstance(database, ShardedDatabase):
+            database = shard_database(database, shards, partitioner=partitioner)
+        self.database = database
         self.compiler = compiler or QueryCompiler(enable_caching=True)
         self.router = router or CostRouter()
         self.routing = routing
@@ -115,23 +130,42 @@ class Session:
         self._service = None
         self._route_memo: Dict[Tuple[str, str], RouteDecision] = {}
         self._closed = False
+        if isinstance(self.database, ShardedDatabase):
+            self._partial_cache: Optional[ResultCache] = ResultCache(
+                result_cache_capacity
+            )
+            self._scatter: Optional[ScatterGatherExecutor] = ScatterGatherExecutor(
+                self.database, self._partial_cache, compiler=self.compiler
+            )
+            self.database.subscribe_invalidation(self._partial_cache.invalidate)
+        else:
+            self._partial_cache = None
+            self._scatter = None
         self.database.subscribe_invalidation(self._on_catalog_mutation)
 
-    def _on_catalog_mutation(self, relation_name: str) -> None:
-        self.result_cache.invalidate_relation(relation_name)
+    def _on_catalog_mutation(self, event: MutationEvent) -> None:
+        self.result_cache.invalidate(event)
         # Cost estimates depend on relation statistics; recompute on change.
         self._route_memo.clear()
+
+    @property
+    def num_shards(self) -> int:
+        """Shard count of the session's catalog (1 for a monolithic database)."""
+        return getattr(self.database, "num_shards", 1)
 
     def close(self) -> None:
         """Detach this session from its catalog (idempotent).
 
-        Unsubscribes the invalidation callback, so short-lived sessions
-        over a long-lived shared database do not accumulate dead listeners.
-        A closed session can still execute; its cached results simply stop
-        tracking catalog mutations.
+        Unsubscribes the invalidation callbacks (the session's and its
+        partial-result cache's), so short-lived sessions over a long-lived
+        shared database do not accumulate dead listeners.  A closed session
+        can still execute; its cached results simply stop tracking catalog
+        mutations.
         """
         if not self._closed:
             self.database.unsubscribe_invalidation(self._on_catalog_mutation)
+            if self._partial_cache is not None:
+                self.database.unsubscribe_invalidation(self._partial_cache.invalidate)
             self._closed = True
 
     def __enter__(self) -> "Session":
@@ -206,6 +240,27 @@ class Session:
             if cached is not None:
                 return ExecutionOutcome(
                     tuples=cached, cost=RESULT_REPLAY_COST, from_cache=True
+                )
+            scatter_spec = (
+                self._scatter.spec_for(query) if self._scatter is not None else None
+            )
+            if scatter_spec is not None:
+                # Sharded catalog: scatter-gather through the executor
+                # (rewritten plans and per-shard partials live there, so
+                # the session plan cache is bypassed).
+                execution = self._scatter.execute(query, engine, spec=scatter_spec)
+                if execution.cacheable:
+                    self.result_cache.put_result(
+                        signature, execution.tuples, query.relation_names()
+                    )
+                return ExecutionOutcome(
+                    tuples=execution.tuples,
+                    cost=execution.cost,
+                    from_cache=False,
+                    stats=execution.stats,
+                    plan=execution.plan,
+                    count=execution.count,
+                    scatter=execution.scatter,
                 )
             plan = None
             plan_cache_hit = False
@@ -299,6 +354,7 @@ class Session:
                 max_queue_depth=self.max_queue_depth,
                 seed=self.seed,
                 router=self.router if self.routing == "auto" else None,
+                scatter=self._scatter,
             )
         return self._service
 

@@ -85,6 +85,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument("--threads", type=int, default=32, help="hardware threads (triejax)")
     run_parser.add_argument(
+        "--shards", type=int, default=1,
+        help="partition the catalog across N shards and execute by scatter-gather",
+    )
+    run_parser.add_argument(
+        "--partitioner", default="hash", choices=["hash", "range"],
+        help="how relations are partitioned across shards",
+    )
+    run_parser.add_argument(
         "--count-only", action="store_true", help="aggregate mode: count matches, do not enumerate"
     )
     run_parser.add_argument(
@@ -113,6 +121,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--route",
         default="auto",
         help="'auto' (cost-based) or one engine name to pin",
+    )
+    explain_parser.add_argument(
+        "--shards", type=int, default=1,
+        help="explain against an N-shard catalog (scatter-gather pricing)",
+    )
+    explain_parser.add_argument(
+        "--partitioner", default="hash", choices=["hash", "range"],
+        help="how relations are partitioned across shards",
     )
 
     experiment_parser = subparsers.add_parser(
@@ -179,6 +195,22 @@ def build_parser() -> argparse.ArgumentParser:
     workload_parser.add_argument(
         "--seed", type=int, default=2020, help="workload/admission RNG seed"
     )
+    workload_parser.add_argument(
+        "--shards", type=int, default=1,
+        help="partition the catalog across N shards and serve by scatter-gather",
+    )
+    workload_parser.add_argument(
+        "--partitioner", default="hash", choices=["hash", "range"],
+        help="how relations are partitioned across shards",
+    )
+    workload_parser.add_argument(
+        "--zipf", type=float, default=None, metavar="SKEW",
+        help="draw query patterns with Zipf(SKEW) popularity instead of uniformly",
+    )
+    workload_parser.add_argument(
+        "--update-fraction", type=float, default=0.0, metavar="F",
+        help="fraction of the stream that inserts edges (stresses invalidation)",
+    )
 
     return parser
 
@@ -242,12 +274,21 @@ def _session_engines(args) -> list:
 def _cmd_run(args) -> int:
     database = _load_database(args)
     statement = Statement.pattern(args.query)
-    session = Session(database, engines=_session_engines(args))
+    session = Session(
+        database,
+        engines=_session_engines(args),
+        shards=args.shards,
+        partitioner=args.partitioner,
+    )
+    if session.num_shards > 1:
+        print(session.database.describe())
     result = session.execute(statement, route=args.engine)
     print(f"query: {result.query.to_datalog()}")
     print(f"matches: {result.cardinality}")
     if args.engine == "auto":
         print(f"routed to: {result.backend}")
+    if result.shard_stats is not None:
+        print(result.shard_stats.describe())
     if result.report is not None:
         print(result.report.summary())
     elif result.stats is not None:
@@ -266,7 +307,12 @@ def _cmd_run(args) -> int:
 
 def _cmd_explain(args) -> int:
     database = _load_database(args)
-    session = Session(database, engines=args.engines)
+    session = Session(
+        database,
+        engines=args.engines,
+        shards=args.shards,
+        partitioner=args.partitioner,
+    )
     statement = (
         Statement.from_datalog(args.query)
         if "(" in args.query
@@ -333,12 +379,23 @@ def _cmd_workload(args) -> int:
         max_queue_depth=args.max_queue_depth,
         seed=args.seed,
         routing=args.route if args.route == "auto" else "rotate",
+        shards=args.shards,
+        partitioner=args.partitioner,
     )
+    if session.num_shards > 1:
+        print(session.database.describe())
     spec_kwargs = {
         "num_queries": args.num_queries,
         "mode": args.mode,
         "arrival_rate": args.arrival_rate,
+        "zipf_skew": args.zipf,
+        "update_fraction": args.update_fraction,
     }
+    if args.update_fraction > 0.0:
+        # Generated update edges should land inside the loaded graph's
+        # vertex-id range so they join (and shard) like real edges.
+        domain = database.relation("E").active_domain()
+        spec_kwargs["update_domain"] = (max(domain) + 1) if domain else 60
     if args.queries:
         spec_kwargs["queries"] = tuple(args.queries)
     requests = generate_requests(WorkloadSpec(**spec_kwargs), seed=args.seed)

@@ -48,6 +48,7 @@ class PJRCacheStats:
     entries_finalized: int = 0
     entries_aborted: int = 0
     overflows: int = 0
+    capacity_rejections: int = 0
     evictions: int = 0
     peak_bytes_used: int = 0
 
@@ -82,6 +83,7 @@ class PJRCacheStats:
             "entries_finalized": self.entries_finalized,
             "entries_aborted": self.entries_aborted,
             "overflows": self.overflows,
+            "capacity_rejections": self.capacity_rejections,
             "evictions": self.evictions,
             "peak_bytes_used": self.peak_bytes_used,
         }
@@ -177,8 +179,12 @@ class PJRCache:
         """Add one match to a pending entry.
 
         Returns ``False`` when the entry does not exist, is owned by another
-        path, or overflowed (in which case it is deallocated and the key will
-        not be cached this time around).
+        path, or was deallocated because it cannot be stored.  Deallocation
+        has two distinct causes with distinct counters: the entry outgrew
+        its per-entry value budget (an ``overflow``, the paper's Section 3.5
+        mechanism) or the whole cache cannot make room even after evicting
+        every complete entry (a ``capacity_rejection`` — a sizing problem,
+        not an entry-shape problem).
         """
         pending = self._pending.get(key)
         if pending is None or pending.path_signature != path_signature:
@@ -191,9 +197,10 @@ class PJRCache:
             return False
         match_bytes = self.bytes_per_value * max(1, len(match[1]))
         if not self._make_room(match_bytes):
+            # Capacity rejection: the SRAM cannot hold this entry at all.
             self._bytes_used -= pending.bytes_used
             del self._pending[key]
-            self.stats.overflows += 1
+            self.stats.capacity_rejections += 1
             return False
         pending.matches.append(match)
         pending.bytes_used += match_bytes

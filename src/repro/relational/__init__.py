@@ -28,10 +28,20 @@ from repro.relational.datalog import (
     format_datalog,
 )
 from repro.relational.sql import SQLSyntaxError, parse_sql_join
-from repro.relational.catalog import Database
+from repro.relational.catalog import Catalog, Database, MutationEvent
+from repro.relational.sharding import (
+    HashPartitioner,
+    RangePartitioner,
+    ScatterSpec,
+    ShardView,
+    ShardedDatabase,
+    shard_alias,
+    shard_database,
+)
 from repro.relational.statistics import (
     DatabaseStatistics,
     FractionalEdgeCover,
+    ScatterWorkEstimate,
     agm_bound,
     agm_exponent,
     database_statistics,
@@ -40,6 +50,7 @@ from repro.relational.statistics import (
     is_cyclic,
     nested_loop_work_estimate,
     pairwise_work_estimate,
+    scatter_work_estimate,
     wcoj_work_estimate,
 )
 
@@ -60,9 +71,19 @@ __all__ = [
     "format_datalog",
     "SQLSyntaxError",
     "parse_sql_join",
+    "Catalog",
     "Database",
+    "MutationEvent",
+    "HashPartitioner",
+    "RangePartitioner",
+    "ScatterSpec",
+    "ShardView",
+    "ShardedDatabase",
+    "shard_alias",
+    "shard_database",
     "DatabaseStatistics",
     "FractionalEdgeCover",
+    "ScatterWorkEstimate",
     "agm_bound",
     "agm_exponent",
     "database_statistics",
@@ -71,5 +92,6 @@ __all__ = [
     "is_cyclic",
     "nested_loop_work_estimate",
     "pairwise_work_estimate",
+    "scatter_work_estimate",
     "wcoj_work_estimate",
 ]

@@ -15,16 +15,104 @@ The catalog is also the **single mutation point** of the serving layer:
 that trie indexes are rebuilt lazily and every subscriber registered via
 :meth:`Database.subscribe_invalidation` (e.g. the
 :class:`repro.service.QueryService` result cache) learns which relation
-changed.
+changed.  Subscribers receive a structured :class:`MutationEvent` — which
+relation, which shard (``None`` for a monolithic catalog), how many rows
+actually changed — so cache layers can invalidate per (relation, shard)
+fragment instead of dropping everything that mentions the relation.
+
+The read/write surface every engine and service component relies on is
+captured by the :class:`Catalog` protocol; :class:`Database` is its
+canonical single-node implementation and
+:class:`repro.relational.sharding.ShardedDatabase` the partitioned one.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, Iterator, List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    runtime_checkable,
+)
 
 from repro.relational.query import Atom, ConjunctiveQuery
 from repro.relational.relation import Relation
 from repro.relational.trie import TrieIndex
+
+
+@dataclass(frozen=True)
+class MutationEvent:
+    """One catalog mutation, as delivered to invalidation subscribers.
+
+    Attributes
+    ----------
+    relation:
+        Name of the stored relation that changed.
+    shard:
+        Shard the change landed in, or ``None`` when the catalog is
+        monolithic / the change touches the relation as a whole (a
+        (re)definition, or an insert into a replicated relation).  Cache
+        layers treat ``None`` as "every shard".
+    delta:
+        Number of rows actually added by the mutation.  ``0`` means the
+        catalog mutated conservatively (e.g. every submitted row was a
+        duplicate) — subscribers still invalidate, matching the
+        conservative contract of :meth:`Database.insert_into`.
+    kind:
+        ``"insert"`` for row insertions, ``"define"`` for relation
+        (re)definitions.
+    """
+
+    relation: str
+    shard: Optional[int] = None
+    delta: int = 0
+    kind: str = "insert"
+
+
+#: Signature of an invalidation subscriber.
+MutationListener = Callable[[MutationEvent], None]
+
+
+@runtime_checkable
+class Catalog(Protocol):
+    """The storage contract engines, caches and the service layer share.
+
+    :class:`Database` satisfies it directly;
+    :class:`repro.relational.sharding.ShardedDatabase` satisfies it while
+    partitioning each relation across shard databases.  Engines only ever
+    read (``relation`` / ``trie_for_atom`` / ``validate_query``); the
+    serving layer also mutates (``insert_into``) and subscribes to the
+    resulting :class:`MutationEvent` stream.
+    """
+
+    name: str
+
+    def relation(self, name: str) -> Relation: ...
+
+    def relation_names(self) -> Tuple[str, ...]: ...
+
+    def __contains__(self, name: str) -> bool: ...
+
+    def trie(self, relation_name: str, attribute_order: Sequence[str]) -> TrieIndex: ...
+
+    def trie_for_atom(self, atom: Atom, variable_order: Sequence[str]) -> TrieIndex: ...
+
+    def validate_query(self, query: ConjunctiveQuery) -> None: ...
+
+    def insert_into(self, relation_name: str, rows: Iterable[Sequence[int]]) -> int: ...
+
+    def subscribe_invalidation(self, callback: MutationListener) -> None: ...
+
+    def unsubscribe_invalidation(self, callback: MutationListener) -> bool: ...
+
+    def total_tuples(self) -> int: ...
 
 
 class Database:
@@ -34,7 +122,7 @@ class Database:
         self.name = name
         self._relations: Dict[str, Relation] = {}
         self._trie_cache: Dict[Tuple[str, Tuple[str, ...]], TrieIndex] = {}
-        self._invalidation_listeners: List[Callable[[str], None]] = []
+        self._invalidation_listeners: List[MutationListener] = []
 
     # ------------------------------------------------------------------ #
     # Relation management
@@ -44,12 +132,12 @@ class Database:
         if relation.name in self._relations:
             raise KeyError(f"relation {relation.name!r} already exists in {self.name!r}")
         self._relations[relation.name] = relation
-        self._invalidate(relation.name)
+        self._invalidate(relation.name, delta=relation.cardinality, kind="define")
 
     def replace_relation(self, relation: Relation) -> None:
         """Register ``relation``, replacing any existing one of the same name."""
         self._relations[relation.name] = relation
-        self._invalidate(relation.name)
+        self._invalidate(relation.name, delta=relation.cardinality, kind="define")
 
     def relation(self, name: str) -> Relation:
         try:
@@ -80,14 +168,18 @@ class Database:
         """
         relation = self.relation(relation_name)
         inserted = sum(1 for row in rows if relation.insert(row))
-        self._invalidate(relation_name)
+        self._invalidate(relation_name, delta=inserted)
         return inserted
 
-    def subscribe_invalidation(self, callback: Callable[[str], None]) -> None:
-        """Call ``callback(relation_name)`` whenever a relation is (re)defined or mutated."""
+    def subscribe_invalidation(self, callback: MutationListener) -> None:
+        """Call ``callback(event)`` whenever a relation is (re)defined or mutated.
+
+        ``event`` is a :class:`MutationEvent`; a monolithic database always
+        reports ``shard=None`` (the whole relation changed).
+        """
         self._invalidation_listeners.append(callback)
 
-    def unsubscribe_invalidation(self, callback: Callable[[str], None]) -> bool:
+    def unsubscribe_invalidation(self, callback: MutationListener) -> bool:
         """Remove a previously subscribed callback; True if it was present.
 
         Lets short-lived subscribers (e.g. a closed :class:`repro.api.Session`)
@@ -99,12 +191,15 @@ class Database:
         except ValueError:
             return False
 
-    def _invalidate(self, relation_name: str) -> None:
+    def _invalidate(
+        self, relation_name: str, delta: int = 0, kind: str = "insert"
+    ) -> None:
         stale = [key for key in self._trie_cache if key[0] == relation_name]
         for key in stale:
             del self._trie_cache[key]
+        event = MutationEvent(relation_name, shard=None, delta=delta, kind=kind)
         for callback in self._invalidation_listeners:
-            callback(relation_name)
+            callback(event)
 
     # ------------------------------------------------------------------ #
     # Trie construction

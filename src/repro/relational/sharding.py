@@ -1,0 +1,576 @@
+"""Sharded catalogs: partition relations across :class:`Database` shards.
+
+This module grows the single-node catalog into the ROADMAP's first scaling
+direction.  A :class:`ShardedDatabase` satisfies the same
+:class:`~repro.relational.catalog.Catalog` protocol a
+:class:`~repro.relational.catalog.Database` does — engines, statistics and
+the service layer keep working unchanged against its merged (global) view —
+while additionally splitting each *partitioned* relation into ``num_shards``
+disjoint fragments, each stored in its own shard :class:`Database` with its
+own lazily built trie indexes.
+
+**Partitioning.**  Each relation is partitioned on one chosen attribute
+(the first attribute by default — for an edge relation, the source vertex)
+by either a multiplicative :class:`HashPartitioner` or a
+:class:`RangePartitioner` whose boundaries are fitted to the attribute's
+value distribution at registration time.  Small relations can instead be
+**replicated** (broadcast): they stay whole in the global view and every
+scatter task reads the full copy.
+
+**Scatter-gather.**  A query fans out by rewriting one *seed atom* — the
+first atom over a partitioned relation — to a shard-local alias
+(:func:`shard_alias`).  Shard ``i``'s task executes the rewritten query
+against a :class:`ShardView`, which resolves the alias to shard ``i``'s
+fragment and every other relation name to the global view.  Because the
+fragments partition the seed relation disjointly, the union of the per-shard
+results is exactly the monolithic result; when the seed relation is
+replicated instead, every task computes the full result and the gather step
+deduplicates.  :meth:`ShardedDatabase.scatter_spec` encodes this rewrite;
+:class:`repro.service.scatter.ScatterGatherExecutor` runs it.
+
+**Invalidation.**  :meth:`ShardedDatabase.insert_into` routes each row to
+its shard and emits one :class:`~repro.relational.catalog.MutationEvent`
+per shard that received rows, so shard-aware caches drop only the entries
+whose dependent (relation, shard) fragments changed.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
+
+from repro.relational.catalog import Database, MutationEvent, MutationListener
+from repro.relational.query import Atom, ConjunctiveQuery
+from repro.relational.relation import Relation
+from repro.relational.trie import TrieIndex
+from repro.util.validation import check_positive
+
+#: Deterministic virtual-time cost of dispatching one scatter task
+#: (request fan-out, shard-queue handoff), in modelled nanoseconds.
+SCATTER_DISPATCH_COST_NS = 25.0
+
+#: Deterministic virtual-time cost per partial-result tuple flowing through
+#: the gather/merge step, in modelled nanoseconds.
+SCATTER_MERGE_COST_PER_TUPLE_NS = 0.25
+
+
+def shard_alias(relation_name: str) -> str:
+    """The reserved relation name a scatter task's seed atom is rewritten to."""
+    return f"{relation_name}@shard"
+
+
+# --------------------------------------------------------------------------- #
+# Partitioners
+# --------------------------------------------------------------------------- #
+class HashPartitioner:
+    """Multiplicative (Knuth) hash of the shard attribute's value.
+
+    Spreads consecutive vertex ids across shards, so the community-graph
+    datasets — whose vertex ids cluster by community — still balance.
+    """
+
+    kind = "hash"
+
+    def __init__(self, num_shards: int):
+        check_positive("num_shards", num_shards)
+        self.num_shards = num_shards
+
+    def fit(self, values: Sequence[int]) -> None:
+        """Hash partitioning is data-independent; fitting is a no-op."""
+
+    def shard_of(self, value: int) -> int:
+        return ((int(value) * 2654435761) & 0xFFFFFFFF) % self.num_shards
+
+    def describe(self) -> str:
+        return f"hash({self.num_shards})"
+
+
+class RangePartitioner:
+    """Contiguous value ranges of the shard attribute.
+
+    Boundaries are fitted once, when the relation is registered: the sorted
+    distinct attribute values are split into ``num_shards`` equal-count
+    runs.  Rows inserted later are routed against the *fitted* boundaries
+    (values beyond the last boundary land in the final shard), matching how
+    a production range-sharded store splits on observed keys rather than
+    rebalancing on every insert.
+    """
+
+    kind = "range"
+
+    def __init__(self, num_shards: int, boundaries: Optional[Sequence[int]] = None):
+        check_positive("num_shards", num_shards)
+        self.num_shards = num_shards
+        #: ``num_shards - 1`` ascending cut points; value ``v`` goes to the
+        #: first shard whose boundary exceeds it.
+        self.boundaries: Tuple[int, ...] = tuple(boundaries or ())
+
+    def fit(self, values: Sequence[int]) -> None:
+        distinct = sorted(set(values))
+        if not distinct or self.num_shards == 1:
+            self.boundaries = ()
+            return
+        cuts: List[int] = []
+        for shard in range(1, self.num_shards):
+            index = (shard * len(distinct)) // self.num_shards
+            cuts.append(distinct[min(index, len(distinct) - 1)])
+        # Strictly increasing cut points (duplicates collapse a shard to
+        # empty, which shard_of handles by never routing to it).
+        self.boundaries = tuple(dict.fromkeys(cuts))
+
+    def shard_of(self, value: int) -> int:
+        return min(bisect.bisect_right(self.boundaries, int(value)), self.num_shards - 1)
+
+    def describe(self) -> str:
+        return f"range({self.num_shards}, cuts={list(self.boundaries)})"
+
+
+#: Built-in partitioner factories, by name.
+PARTITIONER_KINDS: Dict[str, Callable[[int], object]] = {
+    "hash": HashPartitioner,
+    "range": RangePartitioner,
+}
+
+
+def make_partitioner(kind: Union[str, Callable[[int], object]], num_shards: int):
+    """Instantiate a partitioner from a registered name or a factory."""
+    if callable(kind):
+        return kind(num_shards)
+    try:
+        return PARTITIONER_KINDS[kind](num_shards)
+    except KeyError:
+        raise ValueError(
+            f"unknown partitioner {kind!r}; choose from {sorted(PARTITIONER_KINDS)}"
+        ) from None
+
+
+# --------------------------------------------------------------------------- #
+# Scatter plumbing
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ScatterSpec:
+    """How one query fans out over the shards of a :class:`ShardedDatabase`.
+
+    Attributes
+    ----------
+    seed_index:
+        Position of the seed atom in the original query's body.
+    seed_relation:
+        The stored relation that atom binds.
+    alias:
+        Reserved name the seed atom is rewritten to (see :func:`shard_alias`).
+    query:
+        The rewritten query (identical to the original except the seed
+        atom's relation name).  Shard-independent: one compiled plan for it
+        serves every shard.
+    partitioned:
+        Whether the seed relation is partitioned.  ``True`` makes the
+        per-shard results disjoint (gather concatenates); ``False`` means a
+        replicated seed — every task computes the full result and the
+        gather step must deduplicate.
+    """
+
+    seed_index: int
+    seed_relation: str
+    alias: str
+    query: ConjunctiveQuery
+    partitioned: bool
+
+
+class ShardView:
+    """The catalog one scatter task runs against.
+
+    Resolves the spec's alias to shard ``shard_index``'s fragment of the
+    seed relation and every other name to the sharded catalog's global
+    view, so non-seed atoms read full relations (broadcast semantics) and
+    their tries are shared across all shard tasks.
+    """
+
+    def __init__(self, sharded: "ShardedDatabase", shard_index: int, spec: ScatterSpec):
+        self.sharded = sharded
+        self.shard_index = shard_index
+        self.spec = spec
+        self.name = f"{sharded.name}.view{shard_index}"
+
+    def _is_alias(self, name: str) -> bool:
+        return name == self.spec.alias
+
+    def relation(self, name: str) -> Relation:
+        if self._is_alias(name):
+            return self.sharded.shard_relation(self.spec.seed_relation, self.shard_index)
+        return self.sharded.relation(name)
+
+    def relation_names(self) -> Tuple[str, ...]:
+        return self.sharded.relation_names() + (self.spec.alias,)
+
+    def __contains__(self, name: str) -> bool:
+        return self._is_alias(name) or name in self.sharded
+
+    def trie(self, relation_name: str, attribute_order: Sequence[str]) -> TrieIndex:
+        if self._is_alias(relation_name):
+            return self._seed_database().trie(self.spec.seed_relation, attribute_order)
+        return self.sharded.trie(relation_name, attribute_order)
+
+    def trie_for_atom(self, atom: Atom, variable_order: Sequence[str]) -> TrieIndex:
+        if self._is_alias(atom.relation):
+            real_atom = Atom(self.spec.seed_relation, atom.variables)
+            return self._seed_database().trie_for_atom(real_atom, variable_order)
+        return self.sharded.trie_for_atom(atom, variable_order)
+
+    def validate_query(self, query: ConjunctiveQuery) -> None:
+        for atom in query.atoms:
+            relation = self.relation(atom.relation)
+            if atom.arity != relation.schema.arity:
+                raise ValueError(
+                    f"atom {atom} has arity {atom.arity}, but relation "
+                    f"{relation.name!r} has arity {relation.schema.arity}"
+                )
+
+    def _seed_database(self) -> Database:
+        """The database holding this task's seed fragment (trie cache included)."""
+        if self.spec.partitioned:
+            return self.sharded.shard_databases[self.shard_index]
+        return self.sharded.global_database
+
+    def total_tuples(self) -> int:
+        return sum(self.relation(name).cardinality for name in self.sharded.relation_names())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"ShardView({self.name!r}, seed={self.spec.seed_relation!r})"
+
+
+# --------------------------------------------------------------------------- #
+# The sharded catalog
+# --------------------------------------------------------------------------- #
+class ShardedDatabase:
+    """A :class:`~repro.relational.catalog.Catalog` partitioned over N shards.
+
+    Parameters
+    ----------
+    name:
+        Catalog name; shard databases are named ``{name}.shard{i}``.
+    num_shards:
+        Number of shard databases.  ``1`` is allowed (useful as the
+        degenerate point of shard-count sweeps).
+    partitioner:
+        ``"hash"``, ``"range"``, or a factory ``num_shards -> partitioner``.
+        Each partitioned relation gets its own instance (range boundaries
+        are per-relation).
+    shard_attributes:
+        Optional per-relation override of the attribute partitioned on
+        (default: the relation's first attribute, e.g. the edge source
+        vertex).
+    replicate_threshold:
+        Relations registered with at most this many tuples are replicated
+        (broadcast) instead of partitioned.  ``0`` partitions everything.
+    """
+
+    def __init__(
+        self,
+        name: str = "sharded",
+        num_shards: int = 2,
+        partitioner: Union[str, Callable[[int], object]] = "hash",
+        shard_attributes: Optional[Mapping[str, str]] = None,
+        replicate_threshold: int = 0,
+    ):
+        check_positive("num_shards", num_shards)
+        self.name = name
+        self.num_shards = num_shards
+        self.partitioner_kind = partitioner
+        self.replicate_threshold = replicate_threshold
+        self._shard_attributes: Dict[str, str] = dict(shard_attributes or {})
+        self._global = Database(f"{name}.global")
+        self._shards: Tuple[Database, ...] = tuple(
+            Database(f"{name}.shard{i}") for i in range(num_shards)
+        )
+        self._partitioners: Dict[str, object] = {}
+        self._shard_positions: Dict[str, int] = {}
+        self._replicated: Set[str] = set()
+        self._invalidation_listeners: List[MutationListener] = []
+
+    # ------------------------------------------------------------------ #
+    # Relation management
+    # ------------------------------------------------------------------ #
+    def add_relation(self, relation: Relation, replicate: Optional[bool] = None) -> None:
+        """Register ``relation``, partitioning (or replicating) its rows.
+
+        ``replicate`` forces the placement; by default relations at or
+        below ``replicate_threshold`` tuples are replicated.
+        """
+        if replicate is None:
+            replicate = relation.cardinality <= self.replicate_threshold
+        self._global.add_relation(relation)
+        if replicate:
+            self._replicated.add(relation.name)
+        else:
+            self._partition_relation(relation)
+        self._notify(
+            MutationEvent(relation.name, shard=None, delta=relation.cardinality, kind="define")
+        )
+
+    def replace_relation(self, relation: Relation, replicate: Optional[bool] = None) -> None:
+        """Register ``relation``, replacing (and re-partitioning) any existing one."""
+        if replicate is None:
+            replicate = relation.cardinality <= self.replicate_threshold
+        self._global.replace_relation(relation)
+        self._replicated.discard(relation.name)
+        self._partitioners.pop(relation.name, None)
+        self._shard_positions.pop(relation.name, None)
+        for shard in self._shards:
+            if relation.name in shard:
+                shard.replace_relation(Relation(relation.name, relation.schema))
+        if replicate:
+            self._replicated.add(relation.name)
+        else:
+            self._partition_relation(relation)
+        self._notify(
+            MutationEvent(relation.name, shard=None, delta=relation.cardinality, kind="define")
+        )
+
+    def _partition_relation(self, relation: Relation) -> None:
+        attribute = self._shard_attributes.get(
+            relation.name, relation.schema.attributes[0]
+        )
+        position = relation.schema.index_of(attribute)
+        partitioner = make_partitioner(self.partitioner_kind, self.num_shards)
+        partitioner.fit([row[position] for row in relation.sorted_rows()])
+        self._partitioners[relation.name] = partitioner
+        self._shard_positions[relation.name] = position
+        fragments = [Relation(relation.name, relation.schema) for _ in self._shards]
+        for row in relation.sorted_rows():
+            fragments[partitioner.shard_of(row[position])].insert(row)
+        for shard, fragment in zip(self._shards, fragments):
+            if relation.name in shard:
+                shard.replace_relation(fragment)
+            else:
+                shard.add_relation(fragment)
+
+    # ------------------------------------------------------------------ #
+    # Catalog read surface (delegates to the merged global view)
+    # ------------------------------------------------------------------ #
+    def relation(self, name: str) -> Relation:
+        return self._global.relation(name)
+
+    def relation_names(self) -> Tuple[str, ...]:
+        return self._global.relation_names()
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._global
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._global)
+
+    def trie(self, relation_name: str, attribute_order: Sequence[str]) -> TrieIndex:
+        return self._global.trie(relation_name, attribute_order)
+
+    def trie_for_atom(self, atom: Atom, variable_order: Sequence[str]) -> TrieIndex:
+        return self._global.trie_for_atom(atom, variable_order)
+
+    def validate_query(self, query: ConjunctiveQuery) -> None:
+        self._global.validate_query(query)
+
+    def total_tuples(self) -> int:
+        return self._global.total_tuples()
+
+    def size_in_bytes(self, bytes_per_value: int = 4) -> int:
+        return self._global.size_in_bytes(bytes_per_value)
+
+    # ------------------------------------------------------------------ #
+    # Shard introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def global_database(self) -> Database:
+        """The merged single-node view (full relations, shared tries)."""
+        return self._global
+
+    @property
+    def shard_databases(self) -> Tuple[Database, ...]:
+        """The per-shard databases holding the partitioned fragments."""
+        return self._shards
+
+    def is_partitioned(self, name: str) -> bool:
+        """Whether ``name`` is partitioned (as opposed to replicated)."""
+        self._global.relation(name)  # raise for unknown names
+        return name not in self._replicated
+
+    def is_replicated(self, name: str) -> bool:
+        return name in self._replicated
+
+    def shard_attribute(self, name: str) -> Optional[str]:
+        """Attribute a partitioned relation is split on (``None`` if replicated)."""
+        if not self.is_partitioned(name):
+            return None
+        position = self._shard_positions[name]
+        return self._global.relation(name).schema.attributes[position]
+
+    def partitioner_for(self, name: str):
+        """The fitted partitioner of a partitioned relation (``None`` if replicated)."""
+        return self._partitioners.get(name)
+
+    def shard_relation(self, name: str, shard: int) -> Relation:
+        """Shard ``shard``'s fragment of ``name`` (the full relation if replicated)."""
+        if name in self._replicated:
+            return self._global.relation(name)
+        return self._shards[shard].relation(name)
+
+    def shard_cardinalities(self, name: str) -> Tuple[int, ...]:
+        """Per-shard fragment sizes of ``name`` (full size per shard if replicated)."""
+        return tuple(
+            self.shard_relation(name, shard).cardinality
+            for shard in range(self.num_shards)
+        )
+
+    def describe(self) -> str:
+        """Human-readable shard layout (used by the CLI)."""
+        lines = [f"catalog {self.name!r}: {self.num_shards} shard(s)"]
+        for name in self.relation_names():
+            if self.is_replicated(name):
+                lines.append(
+                    f"  {name}: replicated "
+                    f"({self._global.relation(name).cardinality} tuples per shard)"
+                )
+            else:
+                partitioner = self._partitioners[name]
+                counts = "/".join(str(c) for c in self.shard_cardinalities(name))
+                lines.append(
+                    f"  {name}: partitioned on {self.shard_attribute(name)!r} "
+                    f"by {partitioner.describe()}, fragments {counts}"
+                )
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    def insert_into(self, relation_name: str, rows: Iterable[Sequence[int]]) -> int:
+        """Insert ``rows``, routing each to its shard; return how many were new.
+
+        Emits one :class:`MutationEvent` per shard that received rows (with
+        that shard's actual new-row delta), so shard-aware caches keep
+        entries whose dependent fragments did not change.  Inserts into a
+        replicated relation emit a single ``shard=None`` event.
+        """
+        self._global.relation(relation_name)  # raise early for unknown names
+        normalized = [tuple(int(v) for v in row) for row in rows]
+        if relation_name in self._replicated:
+            inserted = self._global.insert_into(relation_name, normalized)
+            self._notify(MutationEvent(relation_name, shard=None, delta=inserted))
+            return inserted
+        position = self._shard_positions[relation_name]
+        partitioner = self._partitioners[relation_name]
+        by_shard: Dict[int, List[Tuple[int, ...]]] = {}
+        for row in normalized:
+            by_shard.setdefault(partitioner.shard_of(row[position]), []).append(row)
+        inserted_total = 0
+        for shard in sorted(by_shard):
+            # Fragments partition the global relation under the same
+            # routing function, so new-in-fragment == new-in-global.
+            delta = self._shards[shard].insert_into(relation_name, by_shard[shard])
+            inserted_total += delta
+            self._notify(MutationEvent(relation_name, shard=shard, delta=delta))
+        self._global.insert_into(relation_name, normalized)
+        return inserted_total
+
+    def subscribe_invalidation(self, callback: MutationListener) -> None:
+        """Call ``callback(event)`` on every mutation; events carry shard ids."""
+        self._invalidation_listeners.append(callback)
+
+    def unsubscribe_invalidation(self, callback: MutationListener) -> bool:
+        """Remove a previously subscribed callback; True if it was present."""
+        try:
+            self._invalidation_listeners.remove(callback)
+            return True
+        except ValueError:
+            return False
+
+    def _notify(self, event: MutationEvent) -> None:
+        for callback in self._invalidation_listeners:
+            callback(event)
+
+    # ------------------------------------------------------------------ #
+    # Scatter planning
+    # ------------------------------------------------------------------ #
+    def scatter_spec(
+        self, query: ConjunctiveQuery, seed_atom: Optional[int] = None
+    ) -> Optional[ScatterSpec]:
+        """How ``query`` fans out over this catalog's shards, or ``None``.
+
+        The seed is the first atom over a partitioned relation (or the
+        caller's ``seed_atom`` override, which may name a replicated
+        relation to force broadcast fan-out — the gather step then
+        deduplicates).  Returns ``None`` when no atom binds a partitioned
+        relation: the query reads only replicated data and a single
+        execution against the global view is strictly cheaper.
+        """
+        self.validate_query(query)
+        if seed_atom is None:
+            for index, atom in enumerate(query.atoms):
+                if self.is_partitioned(atom.relation):
+                    seed_atom = index
+                    break
+            else:
+                return None
+        seed = query.atoms[seed_atom]
+        alias = shard_alias(seed.relation)
+        atoms = list(query.atoms)
+        atoms[seed_atom] = Atom(alias, seed.variables)
+        rewritten = ConjunctiveQuery(
+            f"{query.name}@scatter", query.head_variables, atoms
+        )
+        return ScatterSpec(
+            seed_index=seed_atom,
+            seed_relation=seed.relation,
+            alias=alias,
+            query=rewritten,
+            partitioned=self.is_partitioned(seed.relation),
+        )
+
+    def shard_view(self, shard: int, spec: ScatterSpec) -> ShardView:
+        """The catalog view shard ``shard``'s scatter task executes against."""
+        return ShardView(self, shard, spec)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"ShardedDatabase({self.name!r}, shards={self.num_shards}, "
+            f"relations={sorted(self.relation_names())})"
+        )
+
+
+def shard_database(
+    database: Database,
+    num_shards: int,
+    partitioner: Union[str, Callable[[int], object]] = "hash",
+    shard_attributes: Optional[Mapping[str, str]] = None,
+    replicate_threshold: int = 0,
+    name: Optional[str] = None,
+) -> ShardedDatabase:
+    """Re-partition an existing monolithic ``database`` into N shards.
+
+    Rows are copied (not shared), so mutating the source database afterwards
+    cannot desynchronise the fragments from the sharded global view.
+    """
+    sharded = ShardedDatabase(
+        name or f"{database.name}.x{num_shards}",
+        num_shards=num_shards,
+        partitioner=partitioner,
+        shard_attributes=shard_attributes,
+        replicate_threshold=replicate_threshold,
+    )
+    for relation_name in database.relation_names():
+        source = database.relation(relation_name)
+        sharded.add_relation(
+            Relation(source.name, source.schema, source.sorted_rows())
+        )
+    return sharded

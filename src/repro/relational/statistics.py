@@ -294,6 +294,72 @@ def nested_loop_work_estimate(query: ConjunctiveQuery, database: Database) -> fl
     return max(work, 1.0)
 
 
+# --------------------------------------------------------------------------- #
+# Scatter-gather estimation over sharded catalogs
+# --------------------------------------------------------------------------- #
+#: Work estimators by cost-model name, as used for per-shard pricing.
+_SHARD_WORK_ESTIMATORS = {
+    "wcoj": lambda query, catalog: wcoj_work_estimate(query, catalog),
+    "pairwise": lambda query, catalog: pairwise_work_estimate(query, catalog),
+    "nested-loop": lambda query, catalog: nested_loop_work_estimate(query, catalog),
+}
+
+
+@dataclass(frozen=True)
+class ScatterWorkEstimate:
+    """Per-shard work of a scatter-gather execution of one query.
+
+    ``parallel`` is the critical-path work (shards run concurrently in the
+    service's virtual-time model, so the slowest shard dominates);
+    ``total`` is the aggregate work across all shards (what a cost *budget*
+    would charge).
+    """
+
+    per_shard: Tuple[float, ...]
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.per_shard)
+
+    @property
+    def parallel(self) -> float:
+        return max(self.per_shard) if self.per_shard else 0.0
+
+    @property
+    def total(self) -> float:
+        return sum(self.per_shard)
+
+
+def scatter_work_estimate(
+    query: ConjunctiveQuery, catalog, work_model: str = "wcoj"
+) -> Optional[ScatterWorkEstimate]:
+    """Per-shard work estimates of scattering ``query`` over ``catalog``.
+
+    ``catalog`` is duck-typed: anything exposing the
+    :class:`repro.relational.sharding.ShardedDatabase` scatter surface
+    (``scatter_spec`` / ``shard_view`` / ``num_shards``) qualifies.  Returns
+    ``None`` when the catalog is monolithic or no atom of ``query`` binds a
+    partitioned relation (a single global execution is cheaper then).
+
+    Each shard's estimate prices the *rewritten* query against that shard's
+    view, so the seed atom's selectivity reflects the fragment cardinality
+    while non-seed atoms keep their full-relation cardinalities — exactly
+    the data a scatter task reads.
+    """
+    spec_builder = getattr(catalog, "scatter_spec", None)
+    if spec_builder is None or getattr(catalog, "num_shards", 1) < 1:
+        return None
+    spec = spec_builder(query)
+    if spec is None:
+        return None
+    estimator = _SHARD_WORK_ESTIMATORS.get(work_model, _SHARD_WORK_ESTIMATORS["wcoj"])
+    per_shard = tuple(
+        estimator(spec.query, catalog.shard_view(shard, spec))
+        for shard in range(catalog.num_shards)
+    )
+    return ScatterWorkEstimate(per_shard)
+
+
 @dataclass(frozen=True)
 class DatabaseStatistics:
     """Simple per-database summary used by reports and the examples."""

@@ -56,6 +56,12 @@ from repro.service.engines import (
     create_backend,
 )
 from repro.service.metrics import QueryRecord, ServiceMetrics
+from repro.service.scatter import (
+    PARTIAL_REPLAY_COST_NS,
+    ScatterGatherExecutor,
+    ScatterGatherStats,
+    ShardTaskStats,
+)
 from repro.service.service import (
     QueryOutcome,
     QueryService,
@@ -70,6 +76,7 @@ from repro.service.workload import (
     generate_requests,
     run_workload,
     workload_database,
+    zipf_weights,
 )
 
 __all__ = [
@@ -90,6 +97,10 @@ __all__ = [
     "create_backend",
     "QueryRecord",
     "ServiceMetrics",
+    "PARTIAL_REPLAY_COST_NS",
+    "ScatterGatherExecutor",
+    "ScatterGatherStats",
+    "ShardTaskStats",
     "QueryOutcome",
     "QueryService",
     "RESULT_REPLAY_COST",
@@ -101,4 +112,5 @@ __all__ = [
     "generate_requests",
     "run_workload",
     "workload_database",
+    "zipf_weights",
 ]

@@ -8,8 +8,16 @@ requests with two LRU caches keyed by the canonical query signature
 * the **plan cache** stores ``(canonical_query, JoinPlan)`` pairs so that
   α-equivalent queries are compiled exactly once;
 * the **result cache** stores complete result-tuple lists together with the
-  set of relations they were computed from, and drops every dependent entry
-  when the catalog reports a relation mutation.
+  set of (relation, shard) fragments they were computed from, and drops
+  exactly the dependent entries when the catalog reports a
+  :class:`~repro.relational.catalog.MutationEvent`.
+
+Result-cache dependencies are **shard-aware**: each dependency is a
+``(relation, shard)`` pair where ``shard=None`` means "the whole relation".
+A mutation event for shard ``i`` drops entries depending on ``(rel, i)`` or
+``(rel, None)``; entries pinned to *other* shards survive.  The
+scatter-gather executor (:mod:`repro.service.scatter`) uses this to keep
+per-shard partial results alive across mutations of sibling shards.
 
 Both caches are bounded by entry count and evict in LRU order, and both keep
 the same style of hit/miss/eviction counters as
@@ -21,24 +29,47 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Generic, Iterable, List, Optional, Set, Tuple, TypeVar
+from typing import Dict, Generic, Iterable, List, Optional, Set, Tuple, TypeVar, Union
 
 from repro.joins.plan import JoinPlan
+from repro.relational.catalog import MutationEvent
 from repro.relational.query import ConjunctiveQuery
 from repro.util.validation import check_positive
 
 V = TypeVar("V")
 
+#: One result-cache dependency: a relation name, optionally pinned to a
+#: shard.  Plain strings are accepted anywhere a dependency is and mean
+#: "the whole relation" (shard ``None``).
+ShardDependency = Tuple[str, Optional[int]]
+
+
+def normalize_dependency(dependency: Union[str, ShardDependency]) -> ShardDependency:
+    """Coerce a relation name or (relation, shard) pair to a ShardDependency."""
+    if isinstance(dependency, str):
+        return (dependency, None)
+    relation, shard = dependency
+    return (relation, shard)
+
 
 @dataclass
 class CacheStats:
-    """Activity counters shared by the plan and result caches."""
+    """Activity counters shared by the plan and result caches.
+
+    ``insertions`` counts fresh keys only; re-putting an existing key is a
+    ``replacement``.  Entries leave the cache through exactly one of
+    ``evictions`` (capacity pressure), ``invalidations`` (a targeted
+    :meth:`LRUCache.discard`) or ``clears`` (a bulk :meth:`LRUCache.clear`),
+    so service reports can tell reuse loss from staleness loss.
+    """
 
     lookups: int = 0
     hits: int = 0
     insertions: int = 0
+    replacements: int = 0
     evictions: int = 0
     invalidations: int = 0
+    clears: int = 0
 
     @property
     def misses(self) -> int:
@@ -55,8 +86,10 @@ class CacheStats:
             "misses": self.misses,
             "hit_rate": self.hit_rate,
             "insertions": self.insertions,
+            "replacements": self.replacements,
             "evictions": self.evictions,
             "invalidations": self.invalidations,
+            "clears": self.clears,
         }
 
 
@@ -87,9 +120,17 @@ class LRUCache(Generic[V]):
         return entry
 
     def put(self, key: str, value: V) -> None:
-        """Insert/replace ``key``, evicting LRU entries past capacity."""
+        """Insert/replace ``key``, evicting LRU entries past capacity.
+
+        Replacing an existing key counts as a ``replacement``, not a fresh
+        insertion — the entry count does not grow, so no eviction can be
+        triggered and reuse reports stay honest.
+        """
         if key in self._entries:
             self._entries.move_to_end(key)
+            self._entries[key] = value
+            self.stats.replacements += 1
+            return
         self._entries[key] = value
         self.stats.insertions += 1
         while len(self._entries) > self.capacity:
@@ -111,8 +152,11 @@ class LRUCache(Generic[V]):
         return True
 
     def clear(self) -> None:
+        """Drop every entry, counted under ``clears`` (not invalidations)."""
         for key in list(self._entries):
-            self.discard(key)
+            del self._entries[key]
+            self._on_evict(key)
+            self.stats.clears += 1
 
     def keys(self) -> Tuple[str, ...]:
         """Current keys in LRU order (least recently used first)."""
@@ -133,47 +177,84 @@ class PlanCache(LRUCache[Tuple[ConjunctiveQuery, JoinPlan]]):
 
 
 class ResultCache(LRUCache[List[Tuple[int, ...]]]):
-    """LRU cache of complete query results with relation-level invalidation.
+    """LRU cache of complete query results with shard-aware invalidation.
 
-    Every entry records the relations its result was computed from; when the
-    catalog reports that a relation changed, :meth:`invalidate_relation`
-    drops exactly the dependent entries (counted as invalidations, not
-    evictions).
+    Every entry records the (relation, shard) fragments its result was
+    computed from — plain relation names mean "every shard".  When the
+    catalog reports a :class:`~repro.relational.catalog.MutationEvent`,
+    :meth:`invalidate` drops exactly the entries whose dependencies
+    intersect the mutated fragment (counted as invalidations, not
+    evictions); entries pinned to untouched shards survive.
     """
 
     def __init__(self, capacity: int):
         super().__init__(capacity)
-        self._dependents: Dict[str, Set[str]] = {}
-        self._dependencies: Dict[str, Tuple[str, ...]] = {}
+        # relation -> shard (None = whole relation) -> dependent keys.
+        self._dependents: Dict[str, Dict[Optional[int], Set[str]]] = {}
+        self._dependencies: Dict[str, Tuple[ShardDependency, ...]] = {}
 
     def put_result(
         self,
         key: str,
         tuples: List[Tuple[int, ...]],
-        relation_names: Iterable[str],
+        relation_names: Iterable[Union[str, ShardDependency]],
     ) -> None:
-        """Cache ``tuples`` for ``key``, depending on ``relation_names``."""
-        dependencies = tuple(relation_names)
+        """Cache ``tuples`` for ``key``, depending on ``relation_names``.
+
+        Dependencies may be bare relation names (whole-relation) and/or
+        ``(relation, shard)`` pairs (fragment-level, as produced by the
+        scatter-gather executor's per-shard partial results).
+        """
+        dependencies = tuple(
+            dict.fromkeys(normalize_dependency(d) for d in relation_names)
+        )
+        if key in self._dependencies:
+            self._drop_dependency_index(key)
         self._dependencies[key] = dependencies
-        for relation in dependencies:
-            self._dependents.setdefault(relation, set()).add(key)
+        for relation, shard in dependencies:
+            self._dependents.setdefault(relation, {}).setdefault(shard, set()).add(key)
         self.put(key, tuples)
 
-    def invalidate_relation(self, relation_name: str) -> int:
-        """Drop every entry computed from ``relation_name``; return the count."""
-        keys = self._dependents.get(relation_name)
-        if not keys:
+    def invalidate(self, event: MutationEvent) -> int:
+        """Drop every entry dependent on the mutated fragment; return the count.
+
+        A whole-relation event (``shard=None``) drops every entry that
+        mentions the relation at any shard; a shard event drops entries
+        depending on that shard or on the whole relation.
+        """
+        by_shard = self._dependents.get(event.relation)
+        if not by_shard:
             return 0
+        if event.shard is None:
+            keys: Set[str] = set().union(*by_shard.values())
+        else:
+            keys = set(by_shard.get(None, ())) | set(by_shard.get(event.shard, ()))
         dropped = 0
         for key in sorted(keys):  # sorted: deterministic drop order
             if self.discard(key):
                 dropped += 1
         return dropped
 
-    def _on_evict(self, key: str) -> None:
-        for relation in self._dependencies.pop(key, ()):
-            dependents = self._dependents.get(relation)
+    def invalidate_relation(self, relation_name: str) -> int:
+        """Drop every entry computed from any shard of ``relation_name``."""
+        return self.invalidate(MutationEvent(relation_name))
+
+    def dependencies_of(self, key: str) -> Tuple[ShardDependency, ...]:
+        """The fragment dependencies recorded for ``key`` (tests/debugging)."""
+        return self._dependencies.get(key, ())
+
+    def _drop_dependency_index(self, key: str) -> None:
+        for relation, shard in self._dependencies.pop(key, ()):
+            by_shard = self._dependents.get(relation)
+            if by_shard is None:
+                continue
+            dependents = by_shard.get(shard)
             if dependents is not None:
                 dependents.discard(key)
                 if not dependents:
-                    del self._dependents[relation]
+                    del by_shard[shard]
+            if not by_shard:
+                del self._dependents[relation]
+
+    def _on_evict(self, key: str) -> None:
+        self._drop_dependency_index(key)

@@ -1,0 +1,361 @@
+"""Scatter-gather execution: fan one query out over a sharded catalog.
+
+The executor takes any :class:`~repro.api.engines.EngineProtocol` engine and
+a :class:`~repro.relational.sharding.ShardedDatabase` and runs the catalog's
+:class:`~repro.relational.sharding.ScatterSpec`: the seed atom is rewritten
+to the shard alias, each shard's task executes the rewritten query against
+its :class:`~repro.relational.sharding.ShardView` (seed fragment local,
+everything else the shared global view), and the gather step merges the
+partial results — deduplicating, which matters when the seed relation is
+replicated and every task computes the full result.
+
+**Plans.**  The rewritten query is shard-independent, so plan-aware engines
+compile it exactly once per canonical signature; the compiled plan is
+memoised here (plans depend only on query structure, never on data) and
+handed to every shard task.
+
+**Partial-result reuse.**  With a ``partial_cache`` (a shard-aware
+:class:`~repro.service.caches.ResultCache` subscribed to the catalog's
+mutation events), each shard's partial result is cached under
+``(signature, shard)`` with its true read set as dependencies: the seed
+fragment ``(seed_relation, shard)`` plus every non-seed relation as a
+whole.  Inserting into one shard of the seed relation therefore invalidates
+only that shard's partials — re-executing the query replays every other
+shard from cache and recomputes one fragment.
+
+**Virtual time.**  Shards run concurrently in the service's model: the
+execution's cost is the slowest task (critical path) plus a per-task
+dispatch charge and a per-tuple merge charge
+(:data:`~repro.relational.sharding.SCATTER_DISPATCH_COST_NS`,
+:data:`~repro.relational.sharding.SCATTER_MERGE_COST_PER_TUPLE_NS`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.api.engines import EngineExecution, EngineProtocol
+from repro.joins.compiler import QueryCompiler
+from repro.joins.plan import JoinPlan
+from repro.joins.stats import JoinStats
+from repro.relational.query import ConjunctiveQuery
+from repro.relational.sharding import (
+    SCATTER_DISPATCH_COST_NS,
+    SCATTER_MERGE_COST_PER_TUPLE_NS,
+    ScatterSpec,
+    ShardedDatabase,
+)
+from repro.service.caches import ResultCache, ShardDependency
+
+#: Virtual-time cost of replaying one shard's partial result from the cache.
+PARTIAL_REPLAY_COST_NS = 1.0
+
+
+@dataclass(frozen=True)
+class ShardTaskStats:
+    """What one shard contributed to a scatter-gather execution."""
+
+    shard: int
+    tuples: int
+    cost_ns: float
+    from_cache: bool
+    fragment_cardinality: int
+
+
+@dataclass(frozen=True)
+class ScatterGatherStats:
+    """Per-shard work breakdown of one scatter-gather execution.
+
+    Surfaced as ``ResultSet.shard_stats`` so callers can see how the fan-out
+    balanced: which shards computed, which replayed cached partials, and how
+    much the gather step merged away.
+    """
+
+    seed_relation: str
+    seed_partitioned: bool
+    tasks: Tuple[ShardTaskStats, ...]
+    merged_tuples: int
+    duplicates_removed: int
+    merge_cost_ns: float
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.tasks)
+
+    @property
+    def replayed_shards(self) -> Tuple[int, ...]:
+        """Shards answered from the partial-result cache."""
+        return tuple(task.shard for task in self.tasks if task.from_cache)
+
+    @property
+    def critical_path_ns(self) -> float:
+        return max((task.cost_ns for task in self.tasks), default=0.0)
+
+    def describe(self) -> str:
+        lines = [
+            (
+                f"scatter-gather over {self.num_shards} shard(s) of "
+                f"{self.seed_relation!r} "
+                f"({'partitioned' if self.seed_partitioned else 'replicated'} seed)"
+            )
+        ]
+        for task in self.tasks:
+            source = "cache replay" if task.from_cache else "computed"
+            lines.append(
+                f"  shard {task.shard}: {task.tuples} tuples from "
+                f"{task.fragment_cardinality} fragment rows, "
+                f"~{task.cost_ns:.0f} ns ({source})"
+            )
+        lines.append(
+            f"  gather: {self.merged_tuples} merged, "
+            f"{self.duplicates_removed} duplicates removed, "
+            f"~{self.merge_cost_ns:.0f} ns"
+        )
+        return "\n".join(lines)
+
+
+def _merge_join_stats(into: JoinStats, stats: Optional[JoinStats]) -> None:
+    if stats is None:
+        return
+    into.output_tuples += stats.output_tuples
+    into.bindings_enumerated += stats.bindings_enumerated
+    into.intermediate_results += stats.intermediate_results
+    into.lub_searches += stats.lub_searches
+    into.index_element_reads += stats.index_element_reads
+    into.index_element_writes += stats.index_element_writes
+    into.cache_lookups += stats.cache_lookups
+    into.cache_hits += stats.cache_hits
+    into.cache_inserts += stats.cache_inserts
+    into.cache_evictions += stats.cache_evictions
+    for variable, matches in stats.per_variable_matches.items():
+        into.per_variable_matches[variable] = (
+            into.per_variable_matches.get(variable, 0) + matches
+        )
+
+
+def partial_key(signature: str, shard: int) -> str:
+    """Partial-result cache key of one shard's contribution to a signature."""
+    return f"{signature}#shard{shard}"
+
+
+class ScatterGatherExecutor:
+    """Runs queries over a :class:`ShardedDatabase` through any engine.
+
+    Parameters
+    ----------
+    catalog:
+        The sharded catalog to fan out over.
+    partial_cache:
+        Optional shard-aware result cache for per-shard partials.  The
+        *caller* owns its invalidation wiring (subscribe it to the
+        catalog's mutation events); the executor only reads and populates
+        it.
+    compiler:
+        Query compiler used for the rewritten scatter queries (plan-aware
+        engines only).
+    """
+
+    def __init__(
+        self,
+        catalog: ShardedDatabase,
+        partial_cache: Optional[ResultCache] = None,
+        compiler: Optional[QueryCompiler] = None,
+    ):
+        self.catalog = catalog
+        self.partial_cache = partial_cache
+        self.compiler = compiler or QueryCompiler(enable_caching=True)
+        # Rewritten plans by (canonical signature, seed index): pure query
+        # structure, shared by every shard and never invalidated by data.
+        self._plan_memo: Dict[Tuple[str, int], JoinPlan] = {}
+
+    def spec_for(self, query: ConjunctiveQuery) -> Optional[ScatterSpec]:
+        """The catalog's scatter spec for ``query`` (``None`` = run globally)."""
+        return self.catalog.scatter_spec(query)
+
+    def dependencies_for(
+        self, spec: ScatterSpec, shard: int
+    ) -> Tuple[ShardDependency, ...]:
+        """The exact fragment read set of shard ``shard``'s task."""
+        seed: ShardDependency = (
+            spec.seed_relation,
+            shard if spec.partitioned else None,
+        )
+        others = tuple(
+            (atom.relation, None)
+            for index, atom in enumerate(spec.query.atoms)
+            if index != spec.seed_index
+        )
+        return tuple(dict.fromkeys((seed,) + others))
+
+    def _plan_for(self, signature: str, spec: ScatterSpec) -> JoinPlan:
+        key = (signature, spec.seed_index)
+        plan = self._plan_memo.get(key)
+        if plan is None:
+            plan = self.compiler.compile(spec.query)
+            self._plan_memo[key] = plan
+        return plan
+
+    def execute(
+        self,
+        query: ConjunctiveQuery,
+        engine: EngineProtocol,
+        spec: Optional[ScatterSpec] = None,
+        collect_partials: Optional[
+            List[Tuple[str, List[Tuple[int, ...]], Tuple[ShardDependency, ...]]]
+        ] = None,
+    ) -> EngineExecution:
+        """Scatter ``query`` over the shards through ``engine`` and gather.
+
+        Falls back to one execution against the catalog's global view when
+        no atom binds a partitioned relation (pass a ``spec`` built with an
+        explicit ``seed_atom`` to force broadcast fan-out instead).  The
+        returned execution carries the merged tuples, the critical-path
+        virtual-time cost, aggregated engine counters, and a
+        :class:`ScatterGatherStats` breakdown in ``scatter``.
+
+        With ``collect_partials``, freshly computed per-shard partials are
+        appended to that list as ``(key, tuples, dependencies)`` instead of
+        entering the partial cache immediately — the virtual-time service
+        passes it so partials become visible at the request's *completion*
+        event, preserving the causality the result cache already honours
+        (a concurrent duplicate must not replay a result that has not
+        finished yet in virtual time).
+        """
+        if spec is None:
+            spec = self.spec_for(query)
+        if spec is None:
+            return self._execute_global(query, engine)
+        signature = self.compiler.signature(query)
+        plan = self._plan_for(signature, spec) if engine.plan_aware else None
+
+        tasks: List[ShardTaskStats] = []
+        partials: List[List[Tuple[int, ...]]] = []
+        replayed_lengths: List[int] = []
+        counts: List[int] = []
+        aggregated = JoinStats()
+        computed_any = False
+        plan_used = False
+        cacheable = True
+        for shard in range(self.catalog.num_shards):
+            fragment_size = self.catalog.shard_relation(
+                spec.seed_relation, shard
+            ).cardinality
+            key = partial_key(signature, shard)
+            cached = self.partial_cache.get(key) if self.partial_cache is not None else None
+            if cached is not None:
+                tasks.append(
+                    ShardTaskStats(shard, len(cached), PARTIAL_REPLAY_COST_NS, True, fragment_size)
+                )
+                partials.append(cached)
+                replayed_lengths.append(len(cached))
+                continue
+            view = self.catalog.shard_view(shard, spec)
+            if plan is not None:
+                execution = engine.execute(spec.query, view, plan=plan)
+            else:
+                execution = engine.execute(spec.query, view)
+            computed_any = True
+            plan_used = plan_used or execution.plan_used
+            cacheable = cacheable and execution.cacheable
+            if execution.count is not None:
+                counts.append(execution.count)
+            _merge_join_stats(aggregated, execution.stats)
+            if self.partial_cache is not None and execution.cacheable:
+                entry = (key, execution.tuples, self.dependencies_for(spec, shard))
+                if collect_partials is not None:
+                    collect_partials.append(entry)
+                else:
+                    self.partial_cache.put_result(*entry)
+            tasks.append(
+                ShardTaskStats(
+                    shard, execution.cardinality, execution.cost, False, fragment_size
+                )
+            )
+            partials.append(execution.tuples)
+
+        gathered = sum(len(partial) for partial in partials)
+        count: Optional[int] = None
+        if counts:
+            # Count-only execution (possibly mixed with replayed tuple
+            # partials written earlier by an enumerating engine): the result
+            # is a pure count — a replayed partial contributes its length,
+            # and for a partitioned seed the disjoint per-shard counts sum,
+            # while a replicated seed counts the same full result everywhere.
+            merged: List[Tuple[int, ...]] = []
+            if spec.partitioned:
+                count = sum(counts) + sum(replayed_lengths)
+            else:
+                count = counts[0]
+        elif spec.partitioned and set(spec.query.head_variables) == set(
+            spec.query.variables
+        ):
+            # Disjoint partials (the seed fragments partition the relation
+            # and no projection can alias bindings): concatenation in shard
+            # order is the merged result, no dedup pass needed.
+            merged = [row for partial in partials for row in partial]
+        else:
+            merged = sorted(set().union(*partials)) if partials else []
+        duplicates_removed = 0 if counts else gathered - len(merged)
+        merge_cost = SCATTER_MERGE_COST_PER_TUPLE_NS * gathered
+        cost = (
+            SCATTER_DISPATCH_COST_NS * len(tasks)
+            + max((task.cost_ns for task in tasks), default=0.0)
+            + merge_cost
+        )
+        scatter_stats = ScatterGatherStats(
+            seed_relation=spec.seed_relation,
+            seed_partitioned=spec.partitioned,
+            tasks=tuple(tasks),
+            merged_tuples=len(merged),
+            duplicates_removed=duplicates_removed,
+            merge_cost_ns=merge_cost,
+        )
+        return EngineExecution(
+            tuples=merged,
+            cost=cost,
+            plan_used=plan_used,
+            stats=aggregated if computed_any else None,
+            plan=plan,
+            count=count,
+            cacheable=cacheable,
+            scatter=scatter_stats,
+        )
+
+    def _execute_global(
+        self, query: ConjunctiveQuery, engine: EngineProtocol
+    ) -> EngineExecution:
+        """Single execution against the merged view (no partitioned atom)."""
+        if engine.plan_aware:
+            _, canonical, plan = self.compiler.compile_canonical(query)
+            return engine.execute(canonical, self.catalog, plan=plan)
+        return engine.execute(query, self.catalog)
+
+    def publish_partials(
+        self,
+        entries: List[Tuple[str, List[Tuple[int, ...]], Tuple[ShardDependency, ...]]],
+    ) -> None:
+        """Publish partials collected via ``collect_partials`` into the cache."""
+        if self.partial_cache is None:
+            return
+        for key, tuples, dependencies in entries:
+            self.partial_cache.put_result(key, tuples, dependencies)
+
+    def invalidation_report(self) -> Optional[str]:
+        """One report line for the partial cache, or ``None`` without one."""
+        if self.partial_cache is None:
+            return None
+        stats = self.partial_cache.stats
+        return (
+            f"shard partial cache  : {stats.hits}/{stats.lookups} hits "
+            f"({stats.hit_rate:.1%}), {stats.invalidations} invalidations"
+        )
+
+
+__all__ = [
+    "PARTIAL_REPLAY_COST_NS",
+    "ScatterGatherExecutor",
+    "ScatterGatherStats",
+    "ShardTaskStats",
+    "partial_key",
+]

@@ -37,9 +37,11 @@ from repro.api.engines import create_engine as create_backend
 from repro.joins.compiler import QueryCompiler
 from repro.relational.catalog import Database
 from repro.relational.query import ConjunctiveQuery
+from repro.relational.sharding import ShardedDatabase
 from repro.service.admission import AdmissionController
 from repro.service.caches import PlanCache, ResultCache
 from repro.service.metrics import QueryRecord, ServiceMetrics
+from repro.service.scatter import ScatterGatherExecutor
 
 #: Virtual-time cost charged to a request answered from the result cache.
 RESULT_REPLAY_COST = 1.0
@@ -113,6 +115,7 @@ class QueryService:
         plan_cache: Optional[PlanCache] = None,
         result_cache: Optional[ResultCache] = None,
         router=None,
+        scatter: Optional[ScatterGatherExecutor] = None,
     ):
         if not backends:
             raise ValueError("QueryService needs at least one backend")
@@ -140,7 +143,19 @@ class QueryService:
             self.result_cache = result_cache
         else:
             self.result_cache = ResultCache(result_cache_capacity)
-            database.subscribe_invalidation(self.result_cache.invalidate_relation)
+            database.subscribe_invalidation(self.result_cache.invalidate)
+        if scatter is not None:
+            self.scatter = scatter
+        elif isinstance(database, ShardedDatabase):
+            # Per-shard partial results, invalidated fragment-by-fragment
+            # by the catalog's shard-tagged mutation events.
+            partial_cache = ResultCache(result_cache_capacity)
+            database.subscribe_invalidation(partial_cache.invalidate)
+            self.scatter = ScatterGatherExecutor(
+                database, partial_cache, compiler=self.compiler
+            )
+        else:
+            self.scatter = None
 
     # ------------------------------------------------------------------ #
     # Submission
@@ -192,9 +207,16 @@ class QueryService:
         arrivals = sorted(self._pending, key=lambda r: (r.arrival_time, r.request_id))
         self._pending = []
         outcomes: Dict[int, QueryOutcome] = {}
-        # Completion events: (finish, seq, record, deferred result-cache entry).
+        # Completion events: (finish, seq, record, deferred result-cache
+        # entry, deferred per-shard partial-cache entries).
         completions: List[
-            Tuple[float, int, QueryRecord, Optional[Tuple[str, List[Tuple[int, ...]], Tuple[str, ...]]]]
+            Tuple[
+                float,
+                int,
+                QueryRecord,
+                Optional[Tuple[str, List[Tuple[int, ...]], Tuple[str, ...]]],
+                List,
+            ]
         ] = []
         sequence = 0
         clock = self._clock
@@ -202,11 +224,14 @@ class QueryService:
 
         def start(request: ServiceRequest, start_time: float) -> None:
             nonlocal sequence
-            outcome, record, cache_entry = self._execute(request, start_time)
+            outcome, record, cache_entry, partial_entries = self._execute(
+                request, start_time
+            )
             outcomes[request.request_id] = outcome
             sequence += 1
             heapq.heappush(
-                completions, (record.finish_time, sequence, record, cache_entry)
+                completions,
+                (record.finish_time, sequence, record, cache_entry, partial_entries),
             )
 
         while index < len(arrivals) or completions:
@@ -215,12 +240,16 @@ class QueryService:
             )
             next_completion = completions[0][0] if completions else float("inf")
             if next_completion <= next_arrival:
-                finish, _seq, record, cache_entry = heapq.heappop(completions)
+                finish, _seq, record, cache_entry, partial_entries = heapq.heappop(
+                    completions
+                )
                 clock = max(clock, finish)
                 self.admission.release()
                 if cache_entry is not None:
                     signature, tuples, relation_names = cache_entry
                     self.result_cache.put_result(signature, tuples, relation_names)
+                if partial_entries:
+                    self.scatter.publish_partials(partial_entries)
                 self.metrics.record(record)
                 queued = self.admission.next_request()
                 while queued is not None:
@@ -272,29 +301,51 @@ class QueryService:
 
     def _execute(
         self, request: ServiceRequest, start_time: float
-    ) -> Tuple[QueryOutcome, QueryRecord, Optional[Tuple[str, List[Tuple[int, ...]], Tuple[str, ...]]]]:
-        """Run one dispatched request; returns (outcome, record, cache entry).
+    ) -> Tuple[
+        QueryOutcome,
+        QueryRecord,
+        Optional[Tuple[str, List[Tuple[int, ...]], Tuple[str, ...]]],
+        List,
+    ]:
+        """Run one dispatched request; returns (outcome, record, cache
+        entry, deferred partial-cache entries).
 
         The cache entry (signature, tuples, relation dependencies) is
         ``None`` for result-cache hits; for fresh computations the caller
-        publishes it at the request's completion event so that virtual-time
-        causality holds (a result is visible only once it has finished).
-        The plan cache, by contrast, is populated here at dispatch time:
-        compilation is not charged any virtual time, so plan visibility has
-        no causal ordering to violate.
+        publishes it — and any per-shard partials a scatter-gather
+        execution produced — at the request's completion event so that
+        virtual-time causality holds (a result is visible only once it has
+        finished).  The plan cache, by contrast, is populated here at
+        dispatch time: compilation is not charged any virtual time, so plan
+        visibility has no causal ordering to violate.
         """
         query = request.query
         signature = self.compiler.signature(query)
         backend = self._choose_backend(request)
 
         cache_entry = None
+        partial_entries: List = []
         cached = self.result_cache.get(signature)
         plan_cache_hit = False
         compiled = False
+        scatter_spec = self.scatter.spec_for(query) if self.scatter is not None else None
         if cached is not None:
             tuples = cached
             service_time = RESULT_REPLAY_COST
             result_cache_hit = True
+        elif scatter_spec is not None:
+            # Sharded catalog: fan out through the scatter-gather executor
+            # (which owns the rewritten plans and per-shard partial cache);
+            # the service plan cache is bypassed, so no hit is credited.
+            # Fresh partials are collected here and published at completion.
+            result_cache_hit = False
+            execution = self.scatter.execute(
+                query, backend, spec=scatter_spec, collect_partials=partial_entries
+            )
+            tuples = execution.tuples
+            service_time = execution.cost
+            if execution.cacheable:
+                cache_entry = (signature, tuples, query.relation_names())
         else:
             result_cache_hit = False
             if backend.plan_aware:
@@ -335,7 +386,7 @@ class QueryService:
             plan_cache_hit=plan_cache_hit,
             compiled=compiled,
         )
-        return QueryOutcome(tuples, record), record, cache_entry
+        return QueryOutcome(tuples, record), record, cache_entry, partial_entries
 
     # ------------------------------------------------------------------ #
     # Reporting
@@ -344,7 +395,12 @@ class QueryService:
         plan = self.plan_cache.stats
         result = self.result_cache.stats
         admission = self.admission.stats
-        return [
+        lines = []
+        if self.scatter is not None:
+            partial_line = self.scatter.invalidation_report()
+            if partial_line is not None:
+                lines.append(partial_line)
+        return lines + [
             (
                 f"plan cache           : {plan.hits}/{plan.lookups} hits "
                 f"({plan.hit_rate:.1%}), {plan.evictions} evictions"

@@ -15,6 +15,17 @@ backend from seeded distributions, and a configurable fraction is α-renamed
 (fresh variable names, same structure) specifically to exercise the plan
 cache's canonicalization: renamed repeats must still compile exactly once.
 
+Two realism knobs stress the caching layers the way production traffic
+does:
+
+* ``zipf_skew`` draws patterns with Zipf-distributed popularity (weight
+  ``1/rank^s`` over the spec's query list) instead of uniformly, so the
+  result cache sees a realistic hot set;
+* ``update_fraction`` turns that fraction of the stream into catalog
+  *inserts* (seeded random edges), interleaved with the queries, so
+  (shard-aware) invalidation is actually exercised mid-run rather than
+  only between runs.
+
 Everything is driven by one :class:`~repro.util.rng.DeterministicRNG` seed,
 so a (spec, seed) pair always regenerates the same stream.
 """
@@ -22,7 +33,7 @@ so a (spec, seed) pair always regenerates the same stream.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.graphs import PATTERN_NAMES, community_graph, graph_database, pattern_query
 from repro.relational.catalog import Database
@@ -62,6 +73,19 @@ class WorkloadSpec:
         service's own rotation.
     edge_relation:
         Relation name the pattern queries bind.
+    zipf_skew:
+        ``None`` draws patterns uniformly; a positive value draws them
+        with Zipf popularity — pattern at (1-based) rank ``r`` in
+        ``queries`` has weight ``1 / r**zipf_skew``.
+    update_fraction:
+        Fraction of the stream that is a catalog *insert* instead of a
+        query (seeded random edges into ``edge_relation``).
+    update_batch:
+        Rows per generated insert.
+    update_domain:
+        Vertex ids of generated update edges are drawn from
+        ``[0, update_domain)``; match the catalog's vertex count so
+        updates hit existing shards/joins.
     """
 
     num_queries: int = 100
@@ -74,6 +98,10 @@ class WorkloadSpec:
     )
     backends: Optional[Sequence[str]] = None
     edge_relation: str = "E"
+    zipf_skew: Optional[float] = None
+    update_fraction: float = 0.0
+    update_batch: int = 1
+    update_domain: int = 60
 
     def __post_init__(self) -> None:
         check_positive("num_queries", self.num_queries)
@@ -85,16 +113,29 @@ class WorkloadSpec:
         check_in_range("rename_fraction", self.rename_fraction, 0.0, 1.0)
         if not self.queries:
             raise ValueError("queries must name at least one pattern")
+        if self.zipf_skew is not None:
+            check_positive("zipf_skew", self.zipf_skew)
+        check_in_range("update_fraction", self.update_fraction, 0.0, 1.0)
+        check_positive("update_batch", self.update_batch)
+        check_positive("update_domain", self.update_domain)
 
 
 @dataclass
 class WorkloadRequest:
-    """One generated request, ready for :func:`run_workload` to submit."""
+    """One generated request, ready for :func:`run_workload` to submit.
 
-    query: ConjunctiveQuery
+    ``kind == "query"`` requests carry a conjunctive query; ``"update"``
+    requests carry ``relation``/``rows`` to insert through the catalog
+    (``query`` is ``None`` for them).
+    """
+
+    query: Optional[ConjunctiveQuery]
     priority: str
     arrival_time: float
     backend: Optional[str]
+    kind: str = "query"
+    relation: Optional[str] = None
+    rows: Optional[List[Tuple[int, ...]]] = None
 
 
 def alpha_rename(query: ConjunctiveQuery, tag: int) -> ConjunctiveQuery:
@@ -112,18 +153,49 @@ def alpha_rename(query: ConjunctiveQuery, tag: int) -> ConjunctiveQuery:
     return ConjunctiveQuery(f"{query.name}_r{tag}", head, atoms)
 
 
+def zipf_weights(names: Sequence[str], skew: float) -> Dict[str, float]:
+    """Zipf popularity weights over ``names``: rank ``r`` gets ``1/r**skew``."""
+    return {name: 1.0 / float(rank) ** skew for rank, name in enumerate(names, start=1)}
+
+
 def generate_requests(spec: WorkloadSpec, seed: int = 2020) -> List[WorkloadRequest]:
     """Generate the seeded request stream described by ``spec``."""
     rng = DeterministicRNG(seed)
     requests: List[WorkloadRequest] = []
+    popularity = (
+        zipf_weights(tuple(spec.queries), spec.zipf_skew)
+        if spec.zipf_skew is not None
+        else None
+    )
     open_clock = 0.0
     for index in range(spec.num_queries):
-        name = rng.choice(list(spec.queries))
-        query = pattern_query(name, spec.edge_relation)
-        if rng.random() < spec.rename_fraction:
-            query = alpha_rename(query, index)
+        # Draw order matters: with the realism knobs at their defaults the
+        # consumption sequence must match the historical one, so existing
+        # (spec, seed) pairs regenerate byte-identical streams.
+        is_update = (
+            spec.update_fraction > 0.0 and rng.random() < spec.update_fraction
+        )
+        if is_update:
+            rows = [
+                (
+                    rng.randint(0, spec.update_domain - 1),
+                    rng.randint(0, spec.update_domain - 1),
+                )
+                for _ in range(spec.update_batch)
+            ]
+            query = None
+        else:
+            if popularity is not None:
+                name = rng.weighted_choice(popularity)
+            else:
+                name = rng.choice(list(spec.queries))
+            query = pattern_query(name, spec.edge_relation)
+            if rng.random() < spec.rename_fraction:
+                query = alpha_rename(query, index)
         priority = rng.weighted_choice(spec.priority_mix)
-        backend = rng.choice(list(spec.backends)) if spec.backends else None
+        backend = (
+            rng.choice(list(spec.backends)) if spec.backends and not is_update else None
+        )
         if spec.mode == "closed":
             is_open = False
         elif spec.mode == "open":
@@ -135,7 +207,20 @@ def generate_requests(spec: WorkloadSpec, seed: int = 2020) -> List[WorkloadRequ
             arrival = open_clock
         else:
             arrival = 0.0
-        requests.append(WorkloadRequest(query, priority, arrival, backend))
+        if is_update:
+            requests.append(
+                WorkloadRequest(
+                    None,
+                    priority,
+                    arrival,
+                    None,
+                    kind="update",
+                    relation=spec.edge_relation,
+                    rows=rows,
+                )
+            )
+        else:
+            requests.append(WorkloadRequest(query, priority, arrival, backend))
     return requests
 
 
@@ -157,12 +242,30 @@ def workload_database(
 def run_workload(
     service: QueryService, requests: Sequence[WorkloadRequest]
 ) -> Dict[int, QueryOutcome]:
-    """Submit ``requests`` to ``service`` and drain it; outcomes by request id."""
+    """Submit ``requests`` to ``service`` and drain it; outcomes by request id.
+
+    Update requests (``kind == "update"``) are applied in stream order:
+    every query submitted so far is drained first, then the rows are
+    inserted through the catalog — so invalidation hits the result caches
+    mid-run exactly where the stream places the mutation, and queries after
+    it observe the new data.
+    """
+    outcomes: Dict[int, QueryOutcome] = {}
+    pending = 0
     for request in requests:
+        if request.kind == "update":
+            if pending:
+                outcomes.update(service.drain())
+                pending = 0
+            service.insert_tuples(request.relation, request.rows or ())
+            continue
         service.submit(
             request.query,
             priority=request.priority,
             arrival_time=request.arrival_time,
             backend=request.backend,
         )
-    return service.drain()
+        pending += 1
+    if pending:
+        outcomes.update(service.drain())
+    return outcomes

@@ -9,6 +9,7 @@ regression), and the ISSUE acceptance scenario.
 
 import pytest
 
+import repro.service.engines as service_engines
 from repro.api import (
     ENGINE_FACTORIES,
     EngineProtocol,
@@ -31,7 +32,6 @@ from repro.relational.statistics import (
     wcoj_work_estimate,
 )
 from repro.service import QueryService, workload_database
-import repro.service.engines as service_engines
 
 
 @pytest.fixture(scope="module")

@@ -8,8 +8,8 @@ from repro.core import (
     MatchMakerUnit,
     MidwifeUnit,
     Operation,
-    Participant,
     PJRCache,
+    Participant,
     SpawnRequest,
     Task,
     ThreadStateStore,

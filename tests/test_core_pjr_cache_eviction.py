@@ -58,11 +58,36 @@ class TestEvictionOrder:
         assert cache.try_allocate(key, signature)
         assert cache.append(key, signature, (1, {"t": 1}))
         assert cache.append(key, signature, (2, {"t": 2}))
-        # The third value exceeds total capacity: the entry is deallocated.
+        # The third value exceeds total capacity: the entry is deallocated,
+        # counted as a capacity rejection — not an entry overflow, which is
+        # reserved for entries outgrowing entry_capacity_values.
         assert not cache.append(key, signature, (3, {"t": 3}))
-        assert cache.stats.overflows == 1
+        assert cache.stats.capacity_rejections == 1
+        assert cache.stats.overflows == 0
         assert cache.num_pending == 0 and cache.num_entries == 0
         assert cache.bytes_used == 0
+
+    def test_overflow_and_capacity_rejection_are_distinct_counters(self):
+        # Entry overflow: plenty of SRAM, but the entry exceeds its per-entry
+        # value budget.
+        roomy = PJRCache(capacity_bytes=4096, entry_capacity_values=2, bytes_per_value=8)
+        key, signature = ("z", (1,)), (1,)
+        assert roomy.try_allocate(key, signature)
+        assert roomy.append(key, signature, (1, {"t": 1}))
+        assert roomy.append(key, signature, (2, {"t": 2}))
+        assert not roomy.append(key, signature, (3, {"t": 3}))
+        assert roomy.stats.overflows == 1
+        assert roomy.stats.capacity_rejections == 0
+
+        # Capacity rejection: generous per-entry budget, but the whole SRAM
+        # cannot make room even with every complete entry evicted.
+        tight = PJRCache(capacity_bytes=8, entry_capacity_values=64, bytes_per_value=8)
+        assert tight.try_allocate(key, signature)
+        assert tight.append(key, signature, (1, {"t": 1}))
+        assert not tight.append(key, signature, (2, {"t": 2}))
+        assert tight.stats.capacity_rejections == 1
+        assert tight.stats.overflows == 0
+        assert tight.stats.as_dict()["capacity_rejections"] == 1
 
 
 class TestCounterConsistency:

@@ -9,8 +9,8 @@ from repro.relational import (
     Database,
     DatalogSyntaxError,
     Relation,
-    Schema,
     SQLSyntaxError,
+    Schema,
     parse_datalog,
     parse_program,
     parse_sql_join,

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.graphs import pattern_query
 from repro.joins import NaiveJoin, QueryCompiler
 from repro.joins.compiler import canonical_signature
 from repro.relational.query import Atom, ConjunctiveQuery
@@ -17,7 +18,6 @@ from repro.service import (
     run_workload,
     workload_database,
 )
-from repro.graphs import pattern_query
 
 
 # --------------------------------------------------------------------------- #
