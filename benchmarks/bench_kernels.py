@@ -2,14 +2,25 @@
 
 Unlike the figure benchmarks (which time a whole experiment once), these use
 pytest-benchmark's normal calibration to measure the steady-state cost of the
-building blocks a downstream user pays for: trie construction, the software
-join engines, the vertex-programming baseline and one accelerator simulation.
-They are useful for tracking performance regressions of the library itself.
+building blocks a downstream user pays for: trie construction, the LUB/gallop
+probe kernels, the software join engines (triangle and path enumeration), the
+vertex-programming baseline and one accelerator simulation.  They are useful
+for tracking performance regressions of the library itself.
+
+The same kernels are exposed without pytest via ``repro bench kernels``
+(:mod:`repro.eval.kernels`), whose committed JSON report,
+``BENCH_kernels.json``, is the repository's recorded performance baseline.
 """
 
 import pytest
 
 from repro.core import TrieJaxAccelerator, TrieJaxConfig
+from repro.eval.kernels import (
+    _binary_probe_pass,
+    _gallop_probe_pass,
+    _probe_inputs,
+    run_kernel_benchmarks,
+)
 from repro.graphs import graph_database, load_dataset, pattern_query
 from repro.joins import CachedTrieJoin, GenericJoin, LeapfrogTrieJoin, PairwiseJoin
 from repro.relational import TrieIndex
@@ -20,14 +31,39 @@ def kernel_database():
     return graph_database(load_dataset("bitcoin", scale=0.01))
 
 
+@pytest.fixture
+def probe_inputs(bench_seed):
+    return _probe_inputs(bench_seed)
+
+
 def test_kernel_trie_construction(benchmark, kernel_database):
     relation = kernel_database.relation("E")
     trie = benchmark(lambda: TrieIndex(relation))
     assert trie.num_tuples == relation.cardinality
 
 
+def test_kernel_lub_binary_probes(benchmark, probe_inputs):
+    values, targets = probe_inputs
+    probes = benchmark(_binary_probe_pass, values, targets)
+    assert probes > 0
+
+
+def test_kernel_lub_gallop_probes(benchmark, probe_inputs):
+    """Galloping from the cursor performs strictly fewer probes than binary."""
+    values, targets = probe_inputs
+    probes = benchmark(_gallop_probe_pass, values, targets)
+    assert probes <= _binary_probe_pass(values, targets)
+
+
 def test_kernel_lftj_cycle3(benchmark, kernel_database):
     query = pattern_query("cycle3")
+    engine = LeapfrogTrieJoin()
+    result = benchmark(engine.run, query, kernel_database)
+    assert result.cardinality >= 0
+
+
+def test_kernel_lftj_path3(benchmark, kernel_database):
+    query = pattern_query("path3")
     engine = LeapfrogTrieJoin()
     result = benchmark(engine.run, query, kernel_database)
     assert result.cardinality >= 0
@@ -38,6 +74,13 @@ def test_kernel_ctj_cycle4(benchmark, kernel_database):
     engine = CachedTrieJoin()
     result = benchmark(engine.run, query, kernel_database)
     assert result.stats.cache_lookups > 0
+
+
+def test_kernel_ctj_path3(benchmark, kernel_database):
+    query = pattern_query("path3")
+    engine = CachedTrieJoin()
+    result = benchmark(engine.run, query, kernel_database)
+    assert result.cardinality >= 0
 
 
 def test_kernel_generic_join_cycle3(benchmark, kernel_database):
@@ -63,3 +106,11 @@ def test_kernel_accelerator_cycle3(benchmark, kernel_database):
 
     outcome = benchmark.pedantic(simulate, rounds=3, iterations=1)
     assert outcome.report.total_cycles > 0
+
+
+def test_kernel_suite_smoke(run_once, bench_seed):
+    """The standalone suite runs end to end and its integrity checks hold."""
+    report = run_once(run_kernel_benchmarks, smoke=True, seed=bench_seed)
+    assert report["checks"]["engines_agree"]
+    assert report["checks"]["gallop_probes_leq_binary"]
+    assert set(report["kernels"]) >= {"trie_build", "lftj_cycle3", "ctj_cycle3"}

@@ -13,6 +13,7 @@ The CLI exposes the library's main entry points without writing any Python::
     python -m repro compare cycle4 --dataset bitcoin --scale 0.01
     python -m repro workload --dataset grqc --num-queries 200 --backends lftj ctj
     python -m repro workload --dataset grqc --route auto --backends ctj triejax
+    python -m repro bench kernels --output BENCH_kernels.json
     python -m repro version
 
 ``run`` executes one pattern query on any engine in the shared registry
@@ -23,7 +24,9 @@ executing; ``experiment`` regenerates one of the paper's tables/figures;
 workload; ``workload`` serves a seeded stream of mixed queries through the
 :mod:`repro.service` subsystem — rotating round-robin or cost-routed
 (``--route auto``) — and prints the service report (latencies, queue waits,
-cache hit rates).
+cache hit rates); ``bench`` runs a microbenchmark suite (currently
+``kernels``: trie build, LUB/gallop probes, per-engine enumeration) without
+pytest, honouring ``REPRO_BENCH_SEED``.
 
 All engine names resolve through the single registry in
 :mod:`repro.api.engines`; the CLI keeps no private engine table.
@@ -210,6 +213,32 @@ def build_parser() -> argparse.ArgumentParser:
     workload_parser.add_argument(
         "--update-fraction", type=float, default=0.0, metavar="F",
         help="fraction of the stream that inserts edges (stresses invalidation)",
+    )
+
+    bench_parser = subparsers.add_parser(
+        "bench", help="run a microbenchmark suite without pytest"
+    )
+    bench_parser.add_argument(
+        "suite", choices=["kernels"], help="which suite to run"
+    )
+    bench_parser.add_argument(
+        "--scale", type=float, default=None,
+        help="dataset scale (default: the suite's documented default)",
+    )
+    bench_parser.add_argument(
+        "--repeats", type=int, default=3, help="best-of-N timing repeats"
+    )
+    bench_parser.add_argument(
+        "--seed", type=int, default=None,
+        help="RNG seed (default: the REPRO_BENCH_SEED environment variable)",
+    )
+    bench_parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny-scale correctness gate (single repeat, not timing-sensitive)",
+    )
+    bench_parser.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="also write the JSON report to PATH",
     )
 
     return parser
@@ -410,6 +439,30 @@ def _cmd_workload(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from repro.eval.kernels import (
+        format_kernel_report,
+        run_kernel_benchmarks,
+        write_kernel_report,
+    )
+
+    report = run_kernel_benchmarks(
+        scale=args.scale, seed=args.seed, repeats=args.repeats, smoke=args.smoke
+    )
+    print(format_kernel_report(report))
+    if args.output:
+        write_kernel_report(report, args.output)
+        print(f"wrote {args.output}")
+    checks = report["checks"]
+    if not checks["engines_agree"]:
+        print("FAIL: engines disagree on result cardinalities", file=sys.stderr)
+        return 1
+    if not checks["gallop_probes_leq_binary"]:
+        print("FAIL: galloping performed more probes than binary search", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_version() -> int:
     print(f"repro {repro.__version__}")
     return 0
@@ -435,6 +488,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_compare(args)
     if args.command == "workload":
         return _cmd_workload(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

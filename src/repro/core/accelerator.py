@@ -133,13 +133,9 @@ class TrieJaxAccelerator:
 
         tuples = program.results
         if not plan.query.is_full:
-            # Projection queries can repeat head tuples; keep set semantics.
-            seen = set()
-            tuples = []
-            for row in program.results:
-                if row not in seen:
-                    seen.add(row)
-                    tuples.append(row)
+            # Projection queries can repeat head tuples; keep set semantics
+            # (dict.fromkeys preserves first-appearance order in one pass).
+            tuples = list(dict.fromkeys(program.results))
             program.results = tuples
 
         report = self._build_report(

@@ -32,6 +32,11 @@ from repro.eval.harness import (
     DEFAULT_EVAL_SCALE,
     ExperimentContext,
 )
+from repro.eval.kernels import (
+    format_kernel_report,
+    run_kernel_benchmarks,
+    write_kernel_report,
+)
 from repro.eval.experiments import (
     ENERGY_COMPONENTS,
     EXPERIMENT_REGISTRY,
@@ -70,6 +75,9 @@ __all__ = [
     "BASELINE_ORDER",
     "DEFAULT_EVAL_SCALE",
     "ExperimentContext",
+    "format_kernel_report",
+    "run_kernel_benchmarks",
+    "write_kernel_report",
     "ENERGY_COMPONENTS",
     "EXPERIMENT_REGISTRY",
     "FIGURE14_THREAD_COUNTS",

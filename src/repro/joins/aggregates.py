@@ -111,11 +111,12 @@ class _GroupingExecution(_TrieJoinExecution):
                 f"{plan.query.name!r}"
             )
         self.group_variable = variable
+        self._group_depth = plan.depth_of(variable)
         self.counts: Dict[int, int] = {}
 
     def _emit(self) -> None:  # noqa: D401 - see base class
         super()._emit()
-        value = self.binding[self.group_variable]
+        value = self.binding_values[self._group_depth]
         self.counts[value] = self.counts.get(value, 0) + 1
 
 
@@ -191,10 +192,14 @@ def estimate_count(
     if any(trie.num_tuples == 0 for trie in tries.values()):
         return SampleEstimate(query, 0.0, 0.0, num_samples, 0, plan)
 
+    # Resolve the slot program once; every walk reuses the same tables.
+    program = plan.slot_program()
+    slot_tries = [tries[key] for key in program.trie_keys]
+
     weights: List[float] = []
     successes = 0
     for _ in range(num_samples):
-        weight = _sample_walk(plan, tries, rng)
+        weight = _sample_walk(program, slot_tries, rng)
         weights.append(weight)
         if weight > 0:
             successes += 1
@@ -208,46 +213,44 @@ def estimate_count(
     return SampleEstimate(query, mean, standard_error, num_samples, successes, plan)
 
 
-def _sample_walk(plan: JoinPlan, tries, rng: DeterministicRNG) -> float:
-    """One weighted random walk; returns its inverse-probability weight (or 0)."""
-    binding: Dict[str, int] = {}
-    positions: Dict[str, List[int]] = {
-        atom_binding.trie_key: [-1] * atom_binding.depth
-        for atom_binding in plan.atom_bindings
-    }
+def _sample_walk(program, slot_tries, rng: DeterministicRNG) -> float:
+    """One weighted random walk; returns its inverse-probability weight (or 0).
+
+    ``program`` is the plan's :class:`~repro.joins.plan.SlotProgram` and
+    ``slot_tries`` the per-slot tries, both resolved once by the caller.
+    """
+    positions = [-1] * program.num_positions
     weight = 1.0
 
-    for variable in plan.variable_order:
+    for depth_program in program.depths:
         participants = []
-        for atom_binding in plan.bindings_with(variable):
-            trie = tries[atom_binding.trie_key]
-            level = atom_binding.level_of(variable)
+        for index, (slot, level) in enumerate(depth_program.participants):
+            trie = slot_tries[slot]
             if level == 0:
                 lo, hi = trie.root_range()
             else:
-                parent = positions[atom_binding.trie_key][level - 1]
+                parent = positions[depth_program.parent_indexes[index]]
                 lo, hi = trie.children_range(level - 1, parent)
             if lo >= hi:
                 return 0.0
-            participants.append((atom_binding, trie, level, lo, hi))
+            participants.append((index, trie, level, lo, hi))
 
         # Sample from the smallest candidate range (lowest variance), then
         # verify the value against every other participant.
         participants.sort(key=lambda item: item[4] - item[3])
-        seed_binding, seed_trie, seed_level, seed_lo, seed_hi = participants[0]
+        seed_index, seed_trie, seed_level, seed_lo, seed_hi = participants[0]
         range_size = seed_hi - seed_lo
         position = rng.randint(seed_lo, seed_hi - 1)
         value = seed_trie.value_at(seed_level, position)
-        positions[seed_binding.trie_key][seed_level] = position
+        positions[depth_program.position_indexes[seed_index]] = position
 
-        for atom_binding, trie, level, lo, hi in participants[1:]:
+        for index, trie, level, lo, hi in participants[1:]:
             values = trie.level_values(level)
             probe = lowest_upper_bound(values, value, lo, hi)
             if probe >= hi or values[probe] != value:
                 return 0.0
-            positions[atom_binding.trie_key][level] = probe
+            positions[depth_program.position_indexes[index]] = probe
 
-        binding[variable] = value
         weight *= range_size
 
     return weight

@@ -13,6 +13,12 @@ decided by the :class:`~repro.joins.compiler.QueryCompiler`; this engine
 merely honours it.  The software cache is unbounded, mirroring CTJ's use of
 host memory; the bounded hardware PJR cache is modelled separately in
 :mod:`repro.core.pjr_cache`.
+
+Execution inherits the slot-compiled hot path of
+:class:`~repro.joins.leapfrog.LeapfrogTrieJoin`: cache keys are tuples of
+depth-indexed binding values and cached entries replay slot-addressed cursor
+positions, so hits skip the leapfrog recomputation without a single string
+lookup.
 """
 
 from __future__ import annotations

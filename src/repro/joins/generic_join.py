@@ -15,20 +15,24 @@ ways that matter for the paper's comparison:
   :mod:`repro.baselines.emptyheaded` exploits.
 
 The implementation reuses the trie indexes of the LFTJ machinery so every
-engine sees exactly the same physical data.
+engine sees exactly the same physical data, and — like
+:mod:`repro.joins.leapfrog` — executes off the plan's slot program: per-atom
+cursor state is addressed by dense integer index, resolved once per
+execution.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.joins.base import JoinEngine, JoinResult
 from repro.joins.compiler import QueryCompiler
+from repro.joins.leapfrog import resolve_slot_tables
 from repro.joins.plan import JoinPlan
 from repro.joins.stats import JoinStats
 from repro.relational.catalog import Database
 from repro.relational.query import ConjunctiveQuery
-from repro.relational.trie import TrieIndex
+from repro.util.sorted_ops import lowest_upper_bound
 
 
 class GenericJoin(JoinEngine):
@@ -54,120 +58,113 @@ class GenericJoin(JoinEngine):
 
 
 class _GenericJoinExecution:
-    """One Generic Join execution over trie indexes."""
+    """One Generic Join execution over slot-addressed trie indexes."""
 
     def __init__(self, plan: JoinPlan, database: Database):
         self.plan = plan
         self.database = database
         self.stats = JoinStats()
-        self.tries: Dict[str, TrieIndex] = {}
-        for binding in plan.atom_bindings:
-            if binding.trie_key not in self.tries:
-                self.tries[binding.trie_key] = database.trie_for_atom(
-                    binding.atom, plan.variable_order
-                )
-        self.positions: Dict[str, List[int]] = {
-            binding.trie_key: [-1] * binding.depth for binding in plan.atom_bindings
-        }
-        self.binding: Dict[str, int] = {}
+        program = plan.slot_program()
+        self.program = program
+        self.slot_tries, self._depth_tables = resolve_slot_tables(plan, database)
+        self.positions: List[int] = [-1] * program.num_positions
+        self.binding_values: List[int] = [0] * plan.num_variables
         self.results: List[Tuple[int, ...]] = []
 
     def execute(self) -> List[Tuple[int, ...]]:
-        if any(trie.num_tuples == 0 for trie in self.tries.values()):
+        if any(trie.num_tuples == 0 for trie in self.slot_tries):
             return []
         self._search(0)
         if not self.plan.query.is_full:
             # Projection queries can repeat head tuples; keep set semantics.
-            seen = set()
-            deduplicated = []
-            for row in self.results:
-                if row not in seen:
-                    seen.add(row)
-                    deduplicated.append(row)
-            self.results = deduplicated
+            self.results = list(dict.fromkeys(self.results))
         self.stats.output_tuples = len(self.results)
         return self.results
 
     def _search(self, depth: int) -> None:
         if depth == self.plan.num_variables:
             self.stats.bindings_enumerated += 1
+            binding_values = self.binding_values
             self.results.append(
-                tuple(self.binding[v] for v in self.plan.query.head_variables)
+                tuple(binding_values[d] for d in self.program.head_depths)
             )
             return
-        variable = self.plan.variable_at(depth)
-        matches = self._materialised_intersection(variable)
+        matches = self._materialised_intersection(depth)
         if not matches:
             return
+        depth_program = self._depth_tables[depth][0]
+        self.stats.record_match(depth_program.variable, len(matches))
+        position_indexes = depth_program.position_indexes
+        positions = self.positions
+        binding_values = self.binding_values
         for value, indexes in matches:
-            self.binding[variable] = value
-            self.stats.record_match(variable)
-            for binding in self.plan.bindings_with(variable):
-                level = binding.level_of(variable)
-                self.positions[binding.trie_key][level] = indexes[binding.trie_key]
+            binding_values[depth] = value
+            for i, index in zip(position_indexes, indexes):
+                positions[i] = index
             self._search(depth + 1)
-            del self.binding[variable]
 
     def _materialised_intersection(
-        self, variable: str
-    ) -> List[Tuple[int, Dict[str, int]]]:
+        self, depth: int
+    ) -> List[Tuple[int, Tuple[int, ...]]]:
         """Materialise the intersection of every participating candidate range.
 
         Generic Join scans the smallest candidate set and probes the others
         (binary search per element), materialising the surviving values.
         The materialised buffer is counted as intermediate traffic
         (``index_element_writes``) because EmptyHeaded writes it out as a
-        set before recursing.
+        set before recursing.  Matches carry per-participant value indexes in
+        the depth's participant order (the order ``position_indexes`` expects).
         """
-        participants = []
-        for binding in self.plan.bindings_with(variable):
-            trie = self.tries[binding.trie_key]
-            level = binding.level_of(variable)
-            if level == 0:
-                value_range = trie.root_range()
+        _dp, arrays, parent_offsets, _pos_idx, parent_indexes = self._depth_tables[depth]
+        positions = self.positions
+        stats = self.stats
+        k = len(arrays)
+        ranges: List[Tuple[int, int]] = []
+        for i in range(k):
+            offsets = parent_offsets[i]
+            if offsets is None:
+                lo, hi = 0, len(arrays[i])
             else:
-                parent_index = self.positions[binding.trie_key][level - 1]
-                value_range = trie.children_range(level - 1, parent_index)
-                self.stats.index_element_reads += 2
-            if value_range[0] >= value_range[1]:
+                parent = positions[parent_indexes[i]]
+                lo = offsets[parent]
+                hi = offsets[parent + 1]
+                stats.index_element_reads += 2
+            if lo >= hi:
                 return []
-            participants.append((binding, trie, level, value_range))
+            ranges.append((lo, hi))
 
         # Scan the smallest range, probe the rest.
-        participants.sort(key=lambda item: item[3][1] - item[3][0])
-        seed_binding, seed_trie, seed_level, seed_range = participants[0]
-        others = participants[1:]
+        order = sorted(range(k), key=lambda i: ranges[i][1] - ranges[i][0])
+        seed = order[0]
+        others = order[1:]
+        seed_values = arrays[seed]
+        seed_lo, seed_hi = ranges[seed]
 
-        matches: List[Tuple[int, Dict[str, int]]] = []
-        seed_values = seed_trie.level_values(seed_level)
-        for position in range(seed_range[0], seed_range[1]):
-            self.stats.index_element_reads += 1
+        matches: List[Tuple[int, Tuple[int, ...]]] = []
+        reads = 0
+        writes = 0
+        lubs = 0
+        indexes = [0] * k
+        for position in range(seed_lo, seed_hi):
+            reads += 1
             value = seed_values[position]
-            indexes = {seed_binding.trie_key: position}
+            indexes[seed] = position
             survived = True
-            for binding, trie, level, value_range in others:
-                values = trie.level_values(level)
-                probe = self._probe(values, value, value_range)
-                if probe is None:
+            for i in others:
+                values = arrays[i]
+                lo, hi = ranges[i]
+                lubs += 1
+                reads += (hi - lo).bit_length()
+                probe = lowest_upper_bound(values, value, lo, hi)
+                if probe >= hi or values[probe] != value:
                     survived = False
                     break
-                indexes[binding.trie_key] = probe
+                indexes[i] = probe
             if survived:
-                matches.append((value, indexes))
+                matches.append((value, tuple(indexes)))
                 # Materialising the surviving value into the set buffer.
-                self.stats.index_element_writes += 1
+                writes += 1
+        stats.index_element_reads += reads
+        stats.index_element_writes += writes
+        stats.lub_searches += lubs
         return matches
-
-    def _probe(
-        self, values, value: int, value_range: Tuple[int, int]
-    ) -> Optional[int]:
-        """Binary-search ``value`` inside ``value_range``; return its index or None."""
-        from repro.util.sorted_ops import count_binary_search_probes, lowest_upper_bound
-
-        lo, hi = value_range
-        self.stats.lub_searches += 1
-        self.stats.index_element_reads += count_binary_search_probes(hi - lo)
-        position = lowest_upper_bound(values, value, lo, hi)
-        if position < hi and values[position] == value:
-            return position
-        return None

@@ -14,6 +14,17 @@ The implementation below is shared with :class:`~repro.joins.ctj.CachedTrieJoin`
 structure of the accelerator model: the per-variable candidate ranges are what
 Midwife produces, the leapfrog intersection is MatchMaker + LUB, and the
 backtracking driver is Cupid.
+
+Hot-path layout: executions run off the plan's
+:class:`~repro.joins.plan.SlotProgram` — per-atom state (tries, cursor
+positions) is addressed by dense integer slot, never by string trie key — the
+backtracking driver is iterative (a stack of per-depth match frames, no
+Python recursion), and lagging cursors catch up with *galloping* searches
+from their current position instead of full-window binary searches.
+:class:`~repro.joins.stats.JoinStats` accounting is unchanged from the
+reference implementation: each LUB search still charges the worst-case
+binary-search probe count of its window, so the counters the accelerator and
+baseline cost models consume stay exactly comparable across engine versions.
 """
 
 from __future__ import annotations
@@ -22,12 +33,60 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.joins.base import JoinEngine, JoinResult
 from repro.joins.compiler import QueryCompiler
-from repro.joins.plan import AtomBinding, JoinPlan
+from repro.joins.plan import JoinPlan
 from repro.joins.stats import JoinStats
 from repro.relational.catalog import Database
 from repro.relational.query import ConjunctiveQuery
 from repro.relational.trie import TrieIndex
-from repro.util.sorted_ops import count_binary_search_probes, lowest_upper_bound
+
+#: A single match of one variable: its value plus, per participating atom
+#: (in the depth's participant order), the absolute index of the value in
+#: that atom's level array.
+Match = Tuple[int, Tuple[int, ...]]
+
+
+def resolve_slot_tables(plan: JoinPlan, database: Database):
+    """Resolve a plan's slot program against ``database``'s tries.
+
+    Shared by every slot-compiled execution (LFTJ/CTJ here, Generic Join in
+    :mod:`repro.joins.generic_join`).  Returns ``(slot_tries, depth_tables)``:
+
+    * ``slot_tries[slot]`` — the :class:`TrieIndex` of the ``slot``-th atom
+      binding, resolved exactly once (the catalog caches builds; bindings
+      sharing a trie key share the object);
+    * ``depth_tables[d]`` — the tuple ``(depth_program, arrays,
+      parent_offsets, position_indexes, parent_indexes)`` the inner loops
+      read: per participant its level value array and its parent CSR offsets
+      array (``None`` at the root level), plus the flat position indexes of
+      the depth's cursors.
+    """
+    program = plan.slot_program()
+    tries_by_key: Dict[str, TrieIndex] = {}
+    slot_tries: List[TrieIndex] = []
+    for binding in plan.atom_bindings:
+        trie = tries_by_key.get(binding.trie_key)
+        if trie is None:
+            trie = database.trie_for_atom(binding.atom, plan.variable_order)
+            tries_by_key[binding.trie_key] = trie
+        slot_tries.append(trie)
+    depth_tables = []
+    for depth_program in program.depths:
+        arrays = []
+        parent_offsets = []
+        for slot, level in depth_program.participants:
+            trie = slot_tries[slot]
+            arrays.append(trie.level_values(level))
+            parent_offsets.append(trie.child_offsets(level - 1) if level > 0 else None)
+        depth_tables.append(
+            (
+                depth_program,
+                tuple(arrays),
+                tuple(parent_offsets),
+                depth_program.position_indexes,
+                depth_program.parent_indexes,
+            )
+        )
+    return slot_tries, depth_tables
 
 
 class LeapfrogTrieJoin(JoinEngine):
@@ -72,6 +131,12 @@ class _TrieJoinExecution:
     The execution object is deliberately separate from the engine classes so
     the accelerator model can reuse the exact same functional behaviour while
     layering timing on top.
+
+    All per-atom state is slot-addressed: ``slot_tries[slot]`` is the trie of
+    the ``slot``-th atom binding and ``positions`` is one flat list holding
+    every slot's per-level cursor (``SlotProgram.position_base[slot] + level``).
+    Bound values live in ``binding_values``, indexed by depth in the global
+    variable order.
     """
 
     def __init__(
@@ -86,189 +151,228 @@ class _TrieJoinExecution:
         self.use_cache = use_cache
         self.materialize = materialize
         self.stats = JoinStats()
-        # Per-atom tries, keyed by the binding's trie key.
-        self.tries: Dict[str, TrieIndex] = {}
-        for binding in plan.atom_bindings:
-            if binding.trie_key not in self.tries:
-                self.tries[binding.trie_key] = database.trie_for_atom(
-                    binding.atom, plan.variable_order
-                )
-        # Current chosen node index per trie per level.
-        self.positions: Dict[str, List[int]] = {
-            binding.trie_key: [-1] * binding.depth for binding in plan.atom_bindings
-        }
-        self.binding: Dict[str, int] = {}
+        program = plan.slot_program()
+        self.program = program
+        self.slot_tries, self._depth_tables = resolve_slot_tables(plan, database)
+        self.positions: List[int] = [-1] * program.num_positions
+        self.binding_values: List[int] = [0] * plan.num_variables
         self.results: List[Tuple[int, ...]] = []
-        # Software partial-join-result cache: (variable, key values) -> list of
-        # (value, {trie_key: index}) entries.  Unbounded, like CTJ's use of
-        # host memory; the bounded hardware PJR cache lives in repro.core.
-        self.cache: Dict[Tuple[str, Tuple[int, ...]], List[Tuple[int, Dict[str, int]]]] = {}
+        # Software partial-join-result cache: (depth, key values) -> list of
+        # matches.  Unbounded, like CTJ's use of host memory; the bounded
+        # hardware PJR cache lives in repro.core.
+        self.cache: Dict[Tuple[int, Tuple[int, ...]], List[Match]] = {}
+        self._match_counts: List[int] = [0] * plan.num_variables
 
     # ------------------------------------------------------------------ #
     # Execution driver
     # ------------------------------------------------------------------ #
     def execute(self) -> List[Tuple[int, ...]]:
-        if any(trie.num_tuples == 0 for trie in self.tries.values()):
+        if any(trie.num_tuples == 0 for trie in self.slot_tries):
             # An empty relation makes the whole join empty.
             return []
-        self._search(0)
+        if self.plan.num_variables == 0:
+            self._emit()
+        else:
+            self._run()
+        order = self.plan.variable_order
+        for depth, count in enumerate(self._match_counts):
+            if count:
+                self.stats.record_match(order[depth], count)
         if self.materialize and not self.plan.query.is_full:
             # Projection queries can repeat head tuples across distinct full
             # bindings; results follow set semantics, so collapse them.
-            deduplicated: List[Tuple[int, ...]] = []
-            seen = set()
-            for row in self.results:
-                if row not in seen:
-                    seen.add(row)
-                    deduplicated.append(row)
-            self.results = deduplicated
+            self.results = list(dict.fromkeys(self.results))
         self.stats.output_tuples = len(self.results)
         return self.results
 
-    def _search(self, depth: int) -> None:
-        if depth == self.plan.num_variables:
-            self._emit()
-            return
-        variable = self.plan.variable_at(depth)
-        cache_spec = self.plan.cache_spec_for(variable) if self.use_cache else None
+    def _run(self) -> None:
+        """Iterative backtracking: one match-iterator frame per depth.
 
-        if cache_spec is not None:
-            key = tuple(self.binding[v] for v in cache_spec.key_variables)
-            self.stats.cache_lookups += 1
-            cached = self.cache.get((variable, key))
-            if cached is not None:
-                self.stats.cache_hits += 1
-                for value, indexes in cached:
-                    # Reading the cached value and per-trie index replaces the
-                    # leapfrog recomputation.
-                    self.stats.index_element_reads += 1 + len(indexes)
-                    self._descend(depth, variable, value, indexes)
-                return
-            # Miss: compute normally and populate the cache entry.
-            entry: List[Tuple[int, Dict[str, int]]] = []
-            for value, indexes in self._leapfrog_matches(depth, variable):
-                entry.append((value, dict(indexes)))
-                self.stats.index_element_writes += 1 + len(indexes)
-                self._descend(depth, variable, value, indexes)
-            self.cache[(variable, key)] = entry
-            self.stats.cache_inserts += 1
-            self.stats.intermediate_results += len(entry)
-            return
-
-        for value, indexes in self._leapfrog_matches(depth, variable):
-            self._descend(depth, variable, value, indexes)
-
-    def _descend(
-        self, depth: int, variable: str, value: int, indexes: Dict[str, int]
-    ) -> None:
-        """Bind ``variable`` to ``value``, record trie positions, and recurse."""
-        self.binding[variable] = value
-        self.stats.record_match(variable)
-        for binding in self.plan.bindings_with(variable):
-            level = binding.level_of(variable)
-            self.positions[binding.trie_key][level] = indexes[binding.trie_key]
-        self._search(depth + 1)
-        del self.binding[variable]
+        A frame yields every match of its depth's variable under the current
+        prefix binding; exhausting a frame pops back to the parent, whose
+        iterator resumes where it left off.  The deepest frame is drained in
+        a single tight loop (bind + emit per match, no positions to write —
+        leaf cursors are never read back).
+        """
+        last = self.plan.num_variables - 1
+        positions = self.positions
+        binding_values = self.binding_values
+        match_counts = self._match_counts
+        depth_tables = self._depth_tables
+        emit = self._emit
+        stack: List[Iterator[Match]] = [self._matches_at(0)]
+        push = stack.append
+        pop = stack.pop
+        while stack:
+            depth = len(stack) - 1
+            frame = stack[-1]
+            if depth == last:
+                count = 0
+                for value, _indexes in frame:
+                    binding_values[depth] = value
+                    count += 1
+                    emit()
+                match_counts[depth] += count
+                pop()
+                continue
+            position_indexes = depth_tables[depth][3]
+            advanced = False
+            for value, indexes in frame:
+                match_counts[depth] += 1
+                binding_values[depth] = value
+                for i, index in zip(position_indexes, indexes):
+                    positions[i] = index
+                push(self._matches_at(depth + 1))
+                advanced = True
+                break
+            if not advanced:
+                pop()
 
     def _emit(self) -> None:
         self.stats.bindings_enumerated += 1
         if self.materialize:
+            binding_values = self.binding_values
             self.results.append(
-                tuple(self.binding[v] for v in self.plan.query.head_variables)
+                tuple(binding_values[d] for d in self.program.head_depths)
             )
 
     # ------------------------------------------------------------------ #
-    # Per-variable leapfrog intersection
+    # Per-depth match frames
     # ------------------------------------------------------------------ #
-    def _candidate_ranges(
-        self, variable: str
-    ) -> Optional[List[Tuple[AtomBinding, Tuple[int, int]]]]:
-        """The value-array range each participating atom contributes for ``variable``.
+    def _matches_at(self, depth: int) -> Iterator[Match]:
+        """The match iterator of ``depth``: cached replay or a live leapfrog."""
+        depth_program = self._depth_tables[depth][0]
+        key_depths = depth_program.cache_key_depths if self.use_cache else None
+        if key_depths is None:
+            return self._leapfrog_matches(depth)
+        binding_values = self.binding_values
+        key = tuple(binding_values[d] for d in key_depths)
+        stats = self.stats
+        stats.cache_lookups += 1
+        cached = self.cache.get((depth, key))
+        if cached is not None:
+            stats.cache_hits += 1
+            # Reading each cached value and its per-trie indexes replaces the
+            # leapfrog recomputation.
+            stats.index_element_reads += len(cached) * (
+                1 + len(depth_program.participants)
+            )
+            return iter(cached)
+        return self._fill_cache(depth, key)
 
-        Returns ``None`` when some participating atom has an empty range
-        (no children under the current path), in which case the variable has
-        no matches.
+    def _fill_cache(self, depth: int, key: Tuple[int, ...]) -> Iterator[Match]:
+        """Miss path: compute matches normally while populating the entry."""
+        entry: List[Match] = []
+        append = entry.append
+        width = 1 + len(self._depth_tables[depth][0].participants)
+        try:
+            for match in self._leapfrog_matches(depth):
+                append(match)
+                yield match
+        finally:
+            self.cache[(depth, key)] = entry
+            stats = self.stats
+            stats.cache_inserts += 1
+            stats.intermediate_results += len(entry)
+            stats.index_element_writes += len(entry) * width
+
+    def _leapfrog_matches(self, depth: int) -> Iterator[Match]:
+        """Yield every value of the depth's variable present in all ranges.
+
+        Each yielded match carries, per participating trie, the absolute
+        index of the matched value in that trie's level array (needed to
+        expand the children at the next depth and to populate cache entries).
+        Stats are accumulated in locals and flushed once on exhaustion (the
+        ``finally`` also covers generators closed early).
         """
-        ranges: List[Tuple[AtomBinding, Tuple[int, int]]] = []
-        for binding in self.plan.bindings_with(variable):
-            trie = self.tries[binding.trie_key]
-            level = binding.level_of(variable)
-            if level == 0:
-                value_range = trie.root_range()
-            else:
-                parent_index = self.positions[binding.trie_key][level - 1]
-                value_range = trie.children_range(level - 1, parent_index)
-                # Midwife reads two entries of the child-offsets array.
-                self.stats.index_element_reads += 2
-            if value_range[0] >= value_range[1]:
-                return None
-            ranges.append((binding, value_range))
-        return ranges
-
-    def _leapfrog_matches(
-        self, depth: int, variable: str
-    ) -> Iterator[Tuple[int, Dict[str, int]]]:
-        """Yield every value of ``variable`` present in all participating ranges.
-
-        Each yielded item carries, per participating trie, the absolute index
-        of the matched value in that trie's level array (needed to expand the
-        children at the next depth and to populate cache entries).
-        """
-        ranges = self._candidate_ranges(variable)
-        if ranges is None:
-            return
-
-        # Handle repeated variables within one atom (e.g. R(x, x)): the same
-        # binding participates once but the trie constrains both levels; the
-        # deeper level is checked in `_descend` implicitly because the level
-        # order lists the variable only once.  Nothing special needed here.
-
-        tries = [self.tries[binding.trie_key] for binding, _range in ranges]
-        keys = [binding.trie_key for binding, _range in ranges]
-        levels = [binding.level_of(variable) for binding, _range in ranges]
-        cursors = [rng[0] for _binding, rng in ranges]
-        ends = [rng[1] for _binding, rng in ranges]
-        arrays = [tries[i].level_values(levels[i]) for i in range(len(ranges))]
-
-        if len(ranges) == 1:
-            # Single participating atom: every value in the range matches.
-            for position in range(cursors[0], ends[0]):
-                self.stats.index_element_reads += 1
-                yield arrays[0][position], {keys[0]: position}
-            return
-
-        k = len(ranges)
-        values = []
-        for i in range(k):
-            self.stats.index_element_reads += 1
-            values.append(arrays[i][cursors[i]])
-
-        # Align-to-max loop: every iteration either emits a match (all
-        # cursors agree) or leaps at least one lagging cursor forward via a
-        # lowest-upper-bound search, so termination is guaranteed.
-        while True:
-            max_value = max(values)
-            if all(value == max_value for value in values):
-                yield max_value, {keys[i]: cursors[i] for i in range(k)}
-                # Sibling values within a range are distinct, so the matched
-                # value cannot reappear: advance every cursor by one.
-                for i in range(k):
-                    cursors[i] += 1
-                    if cursors[i] >= ends[i]:
-                        return
-                for i in range(k):
-                    self.stats.index_element_reads += 1
-                    values[i] = arrays[i][cursors[i]]
-                continue
+        _dp, arrays, parent_offsets, _pos_idx, parent_indexes = self._depth_tables[depth]
+        positions = self.positions
+        stats = self.stats
+        k = len(arrays)
+        reads = 0
+        lubs = 0
+        try:
+            # Candidate ranges: what the Midwife unit produces (two reads of
+            # the child-offsets array per non-root participant).
+            cursors: List[int] = []
+            ends: List[int] = []
             for i in range(k):
-                if values[i] < max_value:
-                    self.stats.lub_searches += 1
-                    self.stats.index_element_reads += count_binary_search_probes(
-                        ends[i] - cursors[i]
-                    )
-                    position = lowest_upper_bound(arrays[i], max_value, cursors[i], ends[i])
-                    if position == ends[i]:
-                        return
-                    cursors[i] = position
-                    self.stats.index_element_reads += 1
-                    values[i] = arrays[i][position]
+                offsets = parent_offsets[i]
+                if offsets is None:
+                    lo = 0
+                    hi = len(arrays[i])
+                else:
+                    parent = positions[parent_indexes[i]]
+                    lo = offsets[parent]
+                    hi = offsets[parent + 1]
+                    reads += 2
+                if lo >= hi:
+                    return
+                cursors.append(lo)
+                ends.append(hi)
+
+            if k == 1:
+                # Single participating atom: every value in the range matches.
+                values = arrays[0]
+                for position in range(cursors[0], ends[0]):
+                    reads += 1
+                    yield values[position], (position,)
+                return
+
+            vals: List[int] = []
+            for i in range(k):
+                reads += 1
+                vals.append(arrays[i][cursors[i]])
+
+            # Align-to-max loop: every iteration either emits a match (all
+            # cursors agree) or gallops at least one lagging cursor forward,
+            # so termination is guaranteed.
+            while True:
+                max_value = max(vals)
+                if min(vals) == max_value:
+                    yield max_value, tuple(cursors)
+                    # Sibling values within a range are distinct, so the
+                    # matched value cannot reappear: advance every cursor.
+                    for i in range(k):
+                        cursors[i] += 1
+                        if cursors[i] >= ends[i]:
+                            return
+                    for i in range(k):
+                        reads += 1
+                        vals[i] = arrays[i][cursors[i]]
+                    continue
+                for i in range(k):
+                    if vals[i] < max_value:
+                        lubs += 1
+                        arr = arrays[i]
+                        cursor = cursors[i]
+                        end = ends[i]
+                        # Accounting is the worst-case binary probe count of
+                        # the full window — identical to the reference
+                        # implementation and to what the LUB-unit models
+                        # charge — while the actual search gallops from the
+                        # cursor (same landing position, better locality).
+                        reads += (end - cursor).bit_length()
+                        step = 1
+                        prev = cursor
+                        probe = cursor + 1
+                        while probe < end and arr[probe] < max_value:
+                            prev = probe
+                            step += step
+                            probe = cursor + step
+                        b_lo = prev + 1
+                        b_hi = probe if probe < end else end
+                        while b_lo < b_hi:
+                            mid = (b_lo + b_hi) >> 1
+                            if arr[mid] < max_value:
+                                b_lo = mid + 1
+                            else:
+                                b_hi = mid
+                        if b_lo == end:
+                            return
+                        cursors[i] = b_lo
+                        reads += 1
+                        vals[i] = arr[b_lo]
+        finally:
+            stats.index_element_reads += reads
+            stats.lub_searches += lubs

@@ -15,6 +15,13 @@ accelerator).  It fixes three things:
 Plans are plain data: engines never re-derive ordering decisions at run time,
 which keeps software runs and accelerator simulations of the same query
 exactly aligned.
+
+For the hot execution path, :meth:`JoinPlan.slot_program` compiles the plan
+one step further into a :class:`SlotProgram`: every atom binding becomes a
+dense integer *slot*, and every depth of the variable order precomputes the
+``(slot, level)`` cursors that participate.  Executions address all per-atom
+state (tries, cursor positions) by slot index instead of hashing string trie
+keys on every leapfrog step.
 """
 
 from __future__ import annotations
@@ -89,6 +96,61 @@ class CacheSpec:
     reuse_variables: Tuple[str, ...]
 
 
+@dataclass(frozen=True)
+class DepthProgram:
+    """Slot-compiled description of one depth of the variable order.
+
+    Attributes
+    ----------
+    variable:
+        The variable eliminated at this depth.
+    participants:
+        ``(slot, level)`` per atom binding that mentions the variable, in
+        atom order.  ``slot`` indexes the plan's ``atom_bindings``; ``level``
+        is the variable's trie level within that atom.
+    position_indexes:
+        For each participant, the flat index of its ``(slot, level)`` cursor
+        in the execution's flattened position array (see
+        :attr:`SlotProgram.num_positions`).
+    parent_indexes:
+        For each participant, the flat index of its parent cursor
+        ``(slot, level - 1)``, or ``-1`` for root-level participants.
+    cache_key_depths:
+        Depths (positions in the variable order) of the cache key variables
+        when the plan caches this variable, else ``None``.
+    """
+
+    variable: str
+    participants: Tuple[Tuple[int, int], ...]
+    position_indexes: Tuple[int, ...]
+    parent_indexes: Tuple[int, ...]
+    cache_key_depths: Optional[Tuple[int, ...]]
+
+
+@dataclass(frozen=True)
+class SlotProgram:
+    """The plan lowered to dense integer addressing.
+
+    One slot per atom binding; ``trie_keys[slot]`` is the binding's trie key
+    (used once, to resolve the actual :class:`~repro.relational.trie.TrieIndex`
+    objects), ``position_base[slot]`` the offset of the slot's cursors in a
+    flattened position array of ``num_positions`` entries, ``depths[d]`` the
+    precompiled participants of the ``d``-th variable, and ``head_depths``
+    the depth of each head variable (for result-tuple extraction without a
+    name-keyed binding dict).
+    """
+
+    trie_keys: Tuple[str, ...]
+    position_base: Tuple[int, ...]
+    num_positions: int
+    depths: Tuple[DepthProgram, ...]
+    head_depths: Tuple[int, ...]
+
+    @property
+    def num_slots(self) -> int:
+        return len(self.trie_keys)
+
+
 class JoinPlan:
     """Compiled execution plan for one conjunctive query."""
 
@@ -136,6 +198,64 @@ class JoinPlan:
     def bindings_with(self, variable: str) -> Tuple[AtomBinding, ...]:
         """Atom bindings whose atom mentions ``variable``."""
         return tuple(b for b in self.atom_bindings if b.binds(variable))
+
+    def slot_program(self) -> SlotProgram:
+        """The slot-compiled form of this plan (computed once, then cached).
+
+        Engines resolve each slot's trie once per execution and afterwards
+        address every per-atom cursor by dense integer index — no string
+        hashing, no per-step ``bindings_with`` scans.
+        """
+        program = getattr(self, "_slot_program", None)
+        if program is None:
+            program = self._compile_slots()
+            self._slot_program = program
+        return program
+
+    def _compile_slots(self) -> SlotProgram:
+        trie_keys = tuple(binding.trie_key for binding in self.atom_bindings)
+        position_base: List[int] = []
+        total = 0
+        for binding in self.atom_bindings:
+            position_base.append(total)
+            total += binding.depth
+        depths: List[DepthProgram] = []
+        for depth, variable in enumerate(self.variable_order):
+            participants: List[Tuple[int, int]] = []
+            position_indexes: List[int] = []
+            parent_indexes: List[int] = []
+            for slot, binding in enumerate(self.atom_bindings):
+                if not binding.binds(variable):
+                    continue
+                level = binding.variable_levels[variable]
+                participants.append((slot, level))
+                position_indexes.append(position_base[slot] + level)
+                parent_indexes.append(
+                    position_base[slot] + level - 1 if level > 0 else -1
+                )
+            spec = self._cache_by_variable.get(variable)
+            cache_key_depths = (
+                tuple(self.depth_of(v) for v in spec.key_variables)
+                if spec is not None
+                else None
+            )
+            depths.append(
+                DepthProgram(
+                    variable=variable,
+                    participants=tuple(participants),
+                    position_indexes=tuple(position_indexes),
+                    parent_indexes=tuple(parent_indexes),
+                    cache_key_depths=cache_key_depths,
+                )
+            )
+        head_depths = tuple(self.depth_of(v) for v in self.query.head_variables)
+        return SlotProgram(
+            trie_keys=trie_keys,
+            position_base=tuple(position_base),
+            num_positions=total,
+            depths=tuple(depths),
+            head_depths=head_depths,
+        )
 
     # ------------------------------------------------------------------ #
     # Cache structure

@@ -18,10 +18,20 @@ layout that TrieJax borrows from EmptyHeaded (Figure 6):
 The flat layout is what the accelerator's Midwife unit reads ("extract the
 child range of node ``i``") and what the LUB unit binary-searches, so the
 same object serves both the software engines and the hardware model.
+
+Both the level value arrays and the CSR offset arrays are backed by
+``array('q')`` — one contiguous 64-bit machine word per element instead of a
+tuple of boxed Python ints — so a trie's physical footprint matches what
+:meth:`TrieIndex.memory_words` reports, and sequential probes enjoy real
+cache locality.  Construction performs a single sort (reusing the relation's
+cached sorted order, see :meth:`~repro.relational.relation.Relation.sorted_rows_in`)
+followed by one linear pass that emits every level's values and offsets
+together.
 """
 
 from __future__ import annotations
 
+from array import array
 from typing import Dict, Iterator, List, Sequence, Tuple
 
 from repro.relational.relation import Relation
@@ -57,64 +67,61 @@ class TrieIndex:
     # Construction
     # ------------------------------------------------------------------ #
     def _build(self, relation: Relation) -> None:
-        order_indexes = [relation.schema.index_of(a) for a in self.attribute_order]
-        rows = sorted(
-            tuple(row[i] for i in order_indexes) for row in relation.sorted_rows()
-        )
+        rows = relation.sorted_rows_in(self.attribute_order)
         arity = len(self.attribute_order)
-        values: List[List[int]] = [[] for _ in range(arity)]
-        # offsets[level][k] is the start index (in values[level+1]) of the
-        # children of node k at `level`; one extra entry holds the total.
-        offsets: List[List[int]] = [[0] for _ in range(max(arity - 1, 0))]
+        self._num_tuples = len(rows)
+        try:
+            self._values, self._offsets = self._build_flat(rows, arity, array_typecode="q")
+        except OverflowError:
+            # Values outside the signed 64-bit range: fall back to boxed
+            # storage (offsets are indices and always fit).
+            self._values, self._offsets = self._build_flat(rows, arity, array_typecode=None)
+        self._check_invariants()
+
+    @staticmethod
+    def _build_flat(
+        rows: Sequence[Tuple[int, ...]], arity: int, array_typecode: str | None
+    ):
+        """One linear pass over the sorted distinct rows.
+
+        Rows are strictly sorted, so a node boundary at ``level`` occurs
+        exactly where a row first differs from its predecessor at or above
+        that level; when a node is created its children's start offset is the
+        current length of the next level's value array (all children of
+        earlier siblings are already appended, and its own children follow
+        immediately).  This emits values and CSR offsets together — no
+        re-sort, no per-group distinct-count rescan.
+        """
+        if array_typecode is None:
+            values: List = [[] for _ in range(arity)]
+            offsets: List = [[] for _ in range(max(arity - 1, 0))]
+        else:
+            values = [array(array_typecode) for _ in range(arity)]
+            offsets = [array(array_typecode) for _ in range(max(arity - 1, 0))]
 
         if not rows:
-            self._values = [tuple() for _ in range(arity)]
-            self._offsets = [tuple([0]) for _ in range(max(arity - 1, 0))]
-            self._num_tuples = 0
-            return
+            for level_offsets in offsets:
+                level_offsets.append(0)
+            return values, offsets
 
-        # Build level by level.  `groups` holds, for the current level, the
-        # list of (start, end) row ranges that share the same prefix.
-        groups: List[Tuple[int, int]] = [(0, len(rows))]
-        for level in range(arity):
-            next_groups: List[Tuple[int, int]] = []
-            for start, end in groups:
-                # Distinct values of this level within the prefix group.
-                pos = start
-                while pos < end:
-                    value = rows[pos][level]
-                    run_end = pos
-                    while run_end < end and rows[run_end][level] == value:
-                        run_end += 1
-                    values[level].append(value)
-                    if level < arity - 1:
-                        next_groups.append((pos, run_end))
-                    pos = run_end
-            groups = next_groups
-            if level < arity - 1:
-                # Recompute offsets: number of distinct child values per node.
-                counts = []
-                for child_start, child_end in groups:
-                    distinct = 0
-                    prev = None
-                    for row_idx in range(child_start, child_end):
-                        v = rows[row_idx][level + 1]
-                        if v != prev:
-                            distinct += 1
-                            prev = v
-                    counts.append(distinct)
-                # counts[k] corresponds to the k-th node appended at `level`
-                # in this pass, which is exactly values[level] order.
-                running = 0
-                offsets[level] = [0]
-                for count in counts:
-                    running += count
-                    offsets[level].append(running)
-
-        self._values = [tuple(level_values) for level_values in values]
-        self._offsets = [tuple(level_offsets) for level_offsets in offsets]
-        self._num_tuples = len(rows)
-        self._check_invariants()
+        last_level = arity - 1
+        prev: Tuple[int, ...] | None = None
+        for row in rows:
+            if prev is None:
+                level = 0
+            else:
+                level = 0
+                while row[level] == prev[level]:
+                    level += 1
+            while level < arity:
+                if level < last_level:
+                    offsets[level].append(len(values[level + 1]))
+                values[level].append(row[level])
+                level += 1
+            prev = row
+        for level in range(last_level):
+            offsets[level].append(len(values[level + 1]))
+        return values, offsets
 
     def _check_invariants(self) -> None:
         for level in range(self.num_levels - 1):

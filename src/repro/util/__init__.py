@@ -19,6 +19,7 @@ helpers that are used by several subsystems:
 from repro.util.sorted_ops import (
     lowest_upper_bound,
     binary_search,
+    gallop,
     galloping_search,
     intersect_sorted,
     intersect_many,
@@ -36,6 +37,7 @@ from repro.util.rng import DeterministicRNG
 __all__ = [
     "lowest_upper_bound",
     "binary_search",
+    "gallop",
     "galloping_search",
     "intersect_sorted",
     "intersect_many",

@@ -115,6 +115,57 @@ def galloping_search(
     return lowest_upper_bound(values, target, prev + 1, min(probe + 1, hi))
 
 
+def gallop(
+    values: Sequence[int],
+    target: int,
+    lo: int = 0,
+    hi: int | None = None,
+) -> Tuple[int, int]:
+    """Lowest upper bound via galloping, returning ``(position, probes)``.
+
+    Identical result to :func:`lowest_upper_bound` / :func:`galloping_search`,
+    but it starts probing right at ``lo`` (where a leapfrog cursor already
+    sits, so the answer is usually nearby) and reports how many elements it
+    actually compared.  This is the reference form of the galloping scheme —
+    the kernel microbenchmarks time it and tests pin it against
+    :func:`lowest_upper_bound`; the leapfrog inner loop in
+    :mod:`repro.joins.leapfrog` inlines the same algorithm to avoid a tuple
+    allocation per search, so changes here and there must stay in lockstep.
+    No window validation is performed — callers pass cursor positions that
+    are valid by construction.
+    """
+    if hi is None:
+        hi = len(values)
+    if lo >= hi:
+        return lo, 0
+    if values[lo] >= target:
+        return lo, 1
+    # Exponential phase: bracket the answer in (prev, probe].
+    probes = 1
+    step = 1
+    prev = lo
+    probe = lo + 1
+    while probe < hi:
+        probes += 1
+        if values[probe] >= target:
+            break
+        prev = probe
+        step *= 2
+        probe = lo + step
+    else:
+        probe = hi
+    # Binary phase inside the bracket.
+    b_lo, b_hi = prev + 1, min(probe, hi)
+    while b_lo < b_hi:
+        mid = (b_lo + b_hi) // 2
+        probes += 1
+        if values[mid] < target:
+            b_lo = mid + 1
+        else:
+            b_hi = mid
+    return b_lo, probes
+
+
 def intersect_sorted(a: Sequence[int], b: Sequence[int]) -> List[int]:
     """Return the sorted intersection of two strictly sorted sequences.
 
@@ -227,20 +278,13 @@ def count_binary_search_probes(length: int) -> int:
 
     The accelerator model charges one memory access per probe of the LUB
     unit, so this helper centralises the ``ceil(log2(n)) + 1`` arithmetic.
+    The worst-case probe count of a binary search that always keeps the
+    larger half equals ``length.bit_length()``, so this is O(1) — it sits on
+    the accounting path of every software LUB search.
     """
     if length <= 0:
         return 0
-    probes = 0
-    lo, hi = 0, length
-    while lo < hi:
-        probes += 1
-        mid = (lo + hi) // 2
-        # Worst case: keep the larger half.
-        if (hi - mid - 1) >= (mid - lo):
-            lo = mid + 1
-        else:
-            hi = mid
-    return probes
+    return length.bit_length()
 
 
 def run_length_ranges(values: Sequence[int]) -> List[Tuple[int, int]]:

@@ -91,6 +91,23 @@ class TestCommands:
         assert exit_code == 0
         assert "figure18" in capsys.readouterr().out
 
+    def test_bench_kernels_smoke(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SEED", "7")
+        report_path = tmp_path / "kernels.json"
+        assert main(["bench", "kernels", "--smoke", "--output", str(report_path)]) == 0
+        output = capsys.readouterr().out
+        assert "kernel microbenchmarks" in output
+        assert "engines_agree=True" in output
+        import json
+
+        report = json.loads(report_path.read_text())
+        assert report["meta"]["seed"] == 7  # honours REPRO_BENCH_SEED
+        assert report["checks"]["engines_agree"]
+
+    def test_bench_suite_restricted(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "nope"])
+
     def test_version_command(self, capsys):
         assert main(["version"]) == 0
         assert f"repro {repro.__version__}" in capsys.readouterr().out

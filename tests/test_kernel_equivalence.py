@@ -1,0 +1,230 @@
+"""Equivalence of the overhauled hot-path kernels with the seed semantics.
+
+The PR-4 kernel overhaul (array-backed tries, slot-compiled cursor state,
+iterative galloping leapfrog) must be *invisible* at every observable
+surface: result tuples (and their order), ``JoinStats`` counters, and the
+trie's flat-layout invariants.  These tests pin that down with
+property-style checks across the engine x query correctness matrix, plus
+edge cases for the galloping search and the new storage-layer helpers.
+"""
+
+from array import array
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import graph_database, pattern_query, uniform_random_graph
+from repro.joins import CachedTrieJoin, GenericJoin, LeapfrogTrieJoin, NaiveJoin
+from repro.relational import (
+    Atom,
+    ConjunctiveQuery,
+    Database,
+    MemoryLayout,
+    Relation,
+    Schema,
+    TrieIndex,
+    ValueDictionary,
+)
+from repro.util.sorted_ops import gallop, galloping_search, lowest_upper_bound
+
+WCOJ_ENGINES = [LeapfrogTrieJoin(), CachedTrieJoin(), GenericJoin()]
+
+#: The seed correctness matrix of the issue: every WCOJ engine on a cyclic
+#: query, an acyclic query and a query whose variables repeat across atoms
+#: of the same stored relation (two bindings of E under different orders).
+MATRIX_QUERIES = [
+    pattern_query("cycle3"),
+    pattern_query("path3"),
+    ConjunctiveQuery(
+        "repeated_var",
+        ("x", "y"),
+        [Atom("E", ("x", "y")), Atom("E", ("y", "x"))],
+    ),
+]
+
+
+def seeded_database(seed: int, num_nodes: int = 24, num_edges: int = 70) -> Database:
+    return graph_database(uniform_random_graph(num_nodes, num_edges, seed=seed))
+
+
+class TestEngineEquivalenceMatrix:
+    @pytest.mark.parametrize("seed", [1, 7, 42])
+    @pytest.mark.parametrize("query", MATRIX_QUERIES, ids=lambda q: q.name)
+    def test_results_identical_to_oracle(self, seed, query):
+        database = seeded_database(seed)
+        reference = sorted(NaiveJoin().run(query, database).tuples)
+        for engine in WCOJ_ENGINES:
+            result = engine.run(query, database)
+            assert sorted(result.tuples) == reference, engine.name
+            # Results are duplicate-free even for projection paths.
+            assert len(result.tuples) == len(set(result.tuples))
+
+    @pytest.mark.parametrize("query", MATRIX_QUERIES, ids=lambda q: q.name)
+    def test_join_stats_semantics(self, query):
+        database = seeded_database(3)
+        lftj = LeapfrogTrieJoin().run(query, database)
+        ctj = CachedTrieJoin().run(query, database)
+        for result in (lftj, ctj):
+            stats = result.stats
+            assert stats.output_tuples == result.cardinality
+            assert stats.bindings_enumerated >= stats.output_tuples
+            assert stats.cache_hits <= stats.cache_lookups
+            # Every variable of the order reports its match count.
+            if result.cardinality:
+                assert set(stats.per_variable_matches) == set(result.plan.variable_order)
+        # LFTJ materialises nothing; CTJ's intermediates equal its cached values.
+        assert lftj.stats.intermediate_results == 0
+        assert lftj.stats.cache_lookups == 0
+        if ctj.plan.uses_cache:
+            assert ctj.stats.cache_lookups > 0
+        else:
+            assert ctj.stats.as_dict() == lftj.stats.as_dict()
+
+    def test_projection_dedup_is_order_preserving(self):
+        # dict.fromkeys keeps first-appearance order, like the seed's
+        # list+set dedup did.
+        database = seeded_database(11)
+        query = ConjunctiveQuery(
+            "proj", ("x",), [Atom("E", ("x", "y")), Atom("E", ("y", "z"))]
+        )
+        for engine in WCOJ_ENGINES:
+            tuples = engine.run(query, database).tuples
+            assert tuples == list(dict.fromkeys(tuples))
+            assert sorted(tuples) == sorted(set(tuples))
+
+    def test_slot_program_shape(self):
+        plan = LeapfrogTrieJoin().compiler.compile(pattern_query("cycle3"))
+        program = plan.slot_program()
+        assert program.num_slots == 3
+        assert program.num_positions == 6  # three binary tries, two levels each
+        assert plan.slot_program() is program  # compiled once, cached
+        # Every depth of cycle3 has exactly two participating cursors.
+        assert [len(d.participants) for d in program.depths] == [2, 2, 2]
+        assert program.head_depths == (0, 1, 2)
+
+
+class TestGallopingSearch:
+    def test_empty_window(self):
+        assert gallop([], 5) == (0, 0)
+        assert gallop([1, 2, 3], 2, lo=1, hi=1) == (1, 0)
+
+    def test_target_past_end(self):
+        values = [2, 4, 6, 8]
+        position, probes = gallop(values, 99)
+        assert position == 4
+        assert probes >= 1
+
+    def test_single_element_runs(self):
+        assert gallop([7], 7) == (0, 1)
+        assert gallop([7], 8)[0] == 1
+        assert gallop([7], 3) == (0, 1)
+
+    def test_cursor_already_at_answer(self):
+        # The first probe hits: exactly one comparison.
+        assert gallop([1, 5, 9], 4, lo=1) == (1, 1)
+
+    @given(
+        st.lists(st.integers(0, 100), max_size=40).map(lambda v: sorted(set(v))),
+        st.integers(-5, 105),
+        st.integers(0, 40),
+    )
+    @settings(max_examples=200)
+    def test_agrees_with_lowest_upper_bound(self, values, target, lo):
+        lo = min(lo, len(values))
+        position, probes = gallop(values, target, lo)
+        assert position == lowest_upper_bound(values, target, lo, len(values))
+        assert position == galloping_search(values, target, lo, len(values))
+        if lo < len(values):
+            assert probes >= 1
+
+
+class TestArrayBackedTrie:
+    def test_levels_are_machine_word_arrays(self):
+        relation = Relation("R", Schema(("x", "y")), [(1, 2), (1, 3), (4, 5)])
+        trie = TrieIndex(relation)
+        assert isinstance(trie.level_values(0), array)
+        assert isinstance(trie.child_offsets(0), array)
+        assert trie.level_values(0).typecode == "q"
+
+    def test_huge_values_fall_back_to_boxed_storage(self):
+        big = 1 << 70
+        relation = Relation("R", Schema(("x", "y")), [(big, 1), (0, big)])
+        trie = TrieIndex(relation)
+        assert sorted(trie.paths()) == [(0, big), (big, 1)]
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 9), st.integers(0, 9), st.integers(0, 9)),
+            max_size=50,
+        ),
+        st.permutations(["a", "b", "c"]),
+    )
+    @settings(max_examples=60)
+    def test_single_pass_build_matches_sorted_rows(self, rows, order):
+        relation = Relation("T", Schema(("a", "b", "c")), rows)
+        trie = TrieIndex(relation, order)
+        assert list(trie.paths()) == relation.sorted_rows_in(order)
+        assert trie.num_tuples == len(set(rows))
+
+    def test_sorted_rows_in_is_cached_until_mutation(self):
+        relation = Relation("R", Schema(("x", "y")), [(1, 2), (3, 4)])
+        permuted = relation.sorted_rows_in(("y", "x"))
+        assert permuted == [(2, 1), (4, 3)]
+        assert relation.sorted_rows_in(("y", "x")) is permuted
+        assert relation.sorted_rows_in(("x", "y")) is relation.sorted_rows()
+        relation.insert((5, 0))
+        assert relation.sorted_rows_in(("y", "x")) == [(0, 5), (2, 1), (4, 3)]
+
+
+class TestValueDictionary:
+    def test_round_trip_and_order_preservation(self):
+        dictionary = ValueDictionary([100, 7, 100, 3000])
+        assert len(dictionary) == 3
+        assert dictionary.encode_row((7, 100, 3000)) == (0, 1, 2)
+        assert dictionary.decode_row((0, 1, 2)) == (7, 100, 3000)
+        assert 7 in dictionary and 8 not in dictionary
+        with pytest.raises(KeyError):
+            dictionary.encode_value(8)
+        with pytest.raises(IndexError):
+            dictionary.decode_value(3)
+
+    def test_huge_values_fall_back_to_boxed_storage(self):
+        big = 1 << 70
+        dictionary = ValueDictionary([big, 3, big + 1])
+        assert dictionary.encode_value(big) == 1
+        assert dictionary.decode_row((0, 1, 2)) == (3, big, big + 1)
+
+    def test_lowest_code_bound_matches_lub_convention(self):
+        dictionary = ValueDictionary([10, 20, 30])
+        assert dictionary.lowest_code_bound(15) == 1
+        assert dictionary.lowest_code_bound(10) == 0
+        assert dictionary.lowest_code_bound(99) == 3
+
+    def test_encoded_relation_builds_equivalent_trie(self):
+        relation = Relation(
+            "R", Schema(("x", "y")), [(1000, 7), (1000, 2000), (5, 7)]
+        )
+        encoded, dictionary = relation.dictionary_encoded()
+        assert dictionary.density < 1.0
+        raw_paths = [tuple(row) for row in TrieIndex(relation).paths()]
+        decoded = [dictionary.decode_row(p) for p in TrieIndex(encoded).paths()]
+        assert decoded == raw_paths
+
+    def test_dictionary_cached_and_invalidated(self):
+        relation = Relation("R", Schema(("x",)), [(10,), (20,)])
+        first = relation.value_dictionary()
+        assert relation.value_dictionary() is first
+        relation.insert((30,))
+        assert relation.value_dictionary() is not first
+        assert len(relation.value_dictionary()) == 3
+
+    def test_layout_accounts_for_decode_array(self):
+        relation = Relation("R", Schema(("x", "y")), [(100, 7), (100, 9)])
+        trie = TrieIndex(relation)
+        dictionary = relation.value_dictionary()
+        layout = MemoryLayout()
+        layout.add_trie("t", trie)
+        region = layout.add_dictionary("t", dictionary)
+        assert region.num_elements == len(dictionary)
+        assert layout.dictionary_region("t") is region
