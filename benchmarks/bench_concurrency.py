@@ -1,0 +1,121 @@
+"""Concurrency throughput: wall-clock queries/sec vs execution-backend workers.
+
+The benchmark serves the same seeded mixed workload through
+:class:`repro.service.QueryService` under the deterministic virtual-time
+backend and under the :class:`~repro.service.backends.ThreadPoolBackend`
+at several worker counts, and reports:
+
+* host wall-clock throughput (queries/sec) as the pytest-benchmark number —
+  the acceptance criterion's "throughput for ≥ 2 worker counts";
+* an **equivalence check** per threaded configuration: result sets, cache
+  hit/miss counters and admission decisions must match the virtual-time
+  oracle exactly (the threaded backend only moves engine work onto the
+  pool, never the deterministic event order).
+
+Honesty note: the engines are pure Python, so on CPython the GIL bounds
+the wall-clock speedup — the interesting output is the measured overhead /
+overlap at each worker count, not a linear scaling curve.  All randomness
+derives from the harness seed (``REPRO_BENCH_SEED``), so the workload and
+the admission lottery are identical run-to-run.
+"""
+
+import pytest
+
+from repro.service import (
+    QueryService,
+    WorkloadSpec,
+    generate_requests,
+    run_workload,
+    workload_database,
+)
+
+#: Stream length per worker-count configuration.
+NUM_QUERIES = 120
+
+#: Backends the service rotates through.
+BACKENDS = ("lftj", "ctj")
+
+#: Execution-backend configurations: (name, workers).  ``workers=None``
+#: is the virtual-time baseline; the threaded sweep covers ≥ 2 counts.
+CONFIGURATIONS = (("virtual", None), ("threads", 1), ("threads", 2), ("threads", 4))
+
+
+def _spec() -> WorkloadSpec:
+    # Closed loop + an update mix, mirroring bench_sharding: inserts keep
+    # invalidating the result cache, so engine work (the part the thread
+    # pool overlaps) stays on the measured path.
+    return WorkloadSpec(
+        num_queries=NUM_QUERIES,
+        mode="closed",
+        rename_fraction=0.5,
+        update_fraction=0.15,
+        update_domain=60,
+    )
+
+
+def _serve(database, requests, backend, workers, seed):
+    service = QueryService(
+        database,
+        backends=BACKENDS,
+        max_in_flight=4,
+        seed=seed,
+        backend=backend,
+        workers=workers,
+    )
+    try:
+        outcomes = run_workload(service, requests)
+    finally:
+        service.close()
+    return service, outcomes
+
+
+@pytest.mark.parametrize(("backend", "workers"), CONFIGURATIONS)
+def test_concurrency_throughput(benchmark, bench_seed, bench_rng, backend, workers):
+    database_seed = bench_rng.fork(1).seed
+    requests = generate_requests(_spec(), seed=bench_rng.fork(2).seed)
+
+    def serve_stream():
+        database = workload_database(num_vertices=60, num_edges=300, seed=database_seed)
+        return _serve(database, requests, backend, workers, bench_seed)
+
+    service, outcomes = benchmark.pedantic(serve_stream, rounds=1, iterations=1)
+
+    num_query_requests = sum(1 for r in requests if r.kind == "query")
+    assert len(outcomes) == num_query_requests
+
+    # Equivalence gate: the threaded backend must reproduce the virtual
+    # oracle's results and cache/admission behaviour bit-for-bit.
+    oracle_database = workload_database(
+        num_vertices=60, num_edges=300, seed=database_seed
+    )
+    oracle, oracle_outcomes = _serve(
+        oracle_database, requests, "virtual", None, bench_seed
+    )
+    assert {rid: o.tuples for rid, o in outcomes.items()} == {
+        rid: o.tuples for rid, o in oracle_outcomes.items()
+    }
+    assert service.result_cache.stats.as_dict() == oracle.result_cache.stats.as_dict()
+    assert service.plan_cache.stats.as_dict() == oracle.plan_cache.stats.as_dict()
+    assert service.admission.stats.as_dict() == oracle.admission.stats.as_dict()
+
+    elapsed = benchmark.stats.stats.mean
+    wall_qps = num_query_requests / elapsed
+    label = backend if workers is None else f"{backend}({workers})"
+    print()
+    print(
+        f"backend={label}: {wall_qps:.1f} queries/sec wall, "
+        f"drain wall {service.metrics.wall_drain_seconds:.3f} s, "
+        f"measured executions "
+        f"{service.metrics.wall_execution_summary()['count']}"
+    )
+    print(service.report())
+
+    benchmark.extra_info["execution_backend"] = label
+    benchmark.extra_info["workers"] = workers or 0
+    benchmark.extra_info["queries_per_sec_wall"] = round(wall_qps, 1)
+    benchmark.extra_info["drain_wall_seconds"] = round(
+        service.metrics.wall_drain_seconds, 4
+    )
+    benchmark.extra_info["result_cache_hit_rate"] = round(
+        service.metrics.result_cache_hit_rate(), 3
+    )

@@ -37,6 +37,7 @@ from repro.relational.sharding import ShardedDatabase, shard_database
 from repro.service.caches import PlanCache, ResultCache
 from repro.service.scatter import ScatterGatherExecutor
 from repro.service.service import RESULT_REPLAY_COST
+from repro.util.validation import check_positive
 
 
 @dataclass
@@ -88,6 +89,15 @@ class Session:
         statements by scatter-gather; a database that is already sharded is
         used as-is.  The session keeps a shard-aware partial-result cache,
         so mutating one shard re-executes only that shard's fragment.
+    concurrency / execution_backend:
+        How :meth:`serve` physically executes admitted requests.
+        ``concurrency=1`` (default) keeps the deterministic virtual-time
+        loop; ``concurrency=N`` (N > 1) serves through a
+        :class:`~repro.service.backends.ThreadPoolBackend` with ``N``
+        workers — same results, cache contents and admission decisions,
+        with engine work overlapping on the host.  ``execution_backend``
+        pins a backend name (``"virtual"``/``"threads"``) or a ready
+        :class:`~repro.service.backends.ExecutionBackend` instance.
     max_in_flight / max_queue_depth / seed:
         Admission-control knobs for :meth:`serve`.
     """
@@ -106,9 +116,12 @@ class Session:
         routing: str = "auto",
         shards: int = 1,
         partitioner: str = "hash",
+        concurrency: int = 1,
+        execution_backend=None,
     ):
         if routing not in ("auto", "rotate"):
             raise ValueError(f"routing must be 'auto' or 'rotate', got {routing!r}")
+        check_positive("concurrency", concurrency)
         if database is None:
             database = Database("session")
         if shards > 1 and not isinstance(database, ShardedDatabase):
@@ -127,6 +140,8 @@ class Session:
         self.max_in_flight = max_in_flight
         self.max_queue_depth = max_queue_depth
         self.seed = seed
+        self.concurrency = concurrency
+        self.execution_backend = execution_backend
         self._service = None
         self._route_memo: Dict[Tuple[str, str], RouteDecision] = {}
         self._closed = False
@@ -166,6 +181,8 @@ class Session:
             self.database.unsubscribe_invalidation(self._on_catalog_mutation)
             if self._partial_cache is not None:
                 self.database.unsubscribe_invalidation(self._partial_cache.invalidate)
+            if self._service is not None:
+                self._service.close()  # shut down execution-backend pools
             self._closed = True
 
     def __enter__(self) -> "Session":
@@ -355,6 +372,8 @@ class Session:
                 seed=self.seed,
                 router=self.router if self.routing == "auto" else None,
                 scatter=self._scatter,
+                backend=self.execution_backend,
+                workers=self.concurrency,
             )
         return self._service
 

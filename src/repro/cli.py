@@ -13,6 +13,7 @@ The CLI exposes the library's main entry points without writing any Python::
     python -m repro compare cycle4 --dataset bitcoin --scale 0.01
     python -m repro workload --dataset grqc --num-queries 200 --backends lftj ctj
     python -m repro workload --dataset grqc --route auto --backends ctj triejax
+    python -m repro workload --dataset grqc --backend threads --workers 4
     python -m repro bench kernels --output BENCH_kernels.json
     python -m repro version
 
@@ -23,8 +24,10 @@ executing; ``experiment`` regenerates one of the paper's tables/figures;
 ``compare`` pits TrieJax against the four baseline systems on a single
 workload; ``workload`` serves a seeded stream of mixed queries through the
 :mod:`repro.service` subsystem — rotating round-robin or cost-routed
-(``--route auto``) — and prints the service report (latencies, queue waits,
-cache hit rates); ``bench`` runs a microbenchmark suite (currently
+(``--route auto``), on the deterministic virtual-time loop or a concurrent
+thread pool (``--backend threads --workers N``, same results with
+wall-clock numbers in the report) — and prints the service report
+(latencies, queue waits, cache hit rates); ``bench`` runs a microbenchmark suite (currently
 ``kernels``: trie build, LUB/gallop probes, per-engine enumeration) without
 pytest, honouring ``REPRO_BENCH_SEED``.
 
@@ -179,6 +182,18 @@ def build_parser() -> argparse.ArgumentParser:
         default="rotate",
         choices=["rotate", "auto"],
         help="backend selection: round-robin rotation or cost-based routing",
+    )
+    workload_parser.add_argument(
+        "--backend",
+        default="virtual",
+        choices=["virtual", "threads"],
+        help="execution backend: deterministic virtual-time loop, or a "
+        "thread pool that overlaps engine work on the host (same results "
+        "and cache behaviour, wall-clock numbers in the report)",
+    )
+    workload_parser.add_argument(
+        "--workers", type=int, default=4,
+        help="worker threads of the threaded execution backend",
     )
     workload_parser.add_argument(
         "--mode",
@@ -410,6 +425,8 @@ def _cmd_workload(args) -> int:
         routing=args.route if args.route == "auto" else "rotate",
         shards=args.shards,
         partitioner=args.partitioner,
+        execution_backend=args.backend,
+        concurrency=args.workers if args.backend == "threads" else 1,
     )
     if session.num_shards > 1:
         print(session.database.describe())
@@ -436,6 +453,7 @@ def _cmd_workload(args) -> int:
     if session.service.rejected_requests:
         print(f"rejected {len(session.service.rejected_requests)} requests (bounded queue)")
     print(session.report())
+    session.close()  # joins the execution backend's worker pools
     return 0
 
 

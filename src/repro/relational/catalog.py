@@ -28,6 +28,7 @@ canonical single-node implementation and
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import (
     Callable,
@@ -122,6 +123,11 @@ class Database:
         self.name = name
         self._relations: Dict[str, Relation] = {}
         self._trie_cache: Dict[Tuple[str, Tuple[str, ...]], TrieIndex] = {}
+        # Concurrent engine executions (the service's threaded backend)
+        # request tries for the same (relation, order) simultaneously; the
+        # lock makes the lazy build happen exactly once instead of racing
+        # the check-then-insert.
+        self._trie_lock = threading.Lock()
         self._invalidation_listeners: List[MutationListener] = []
 
     # ------------------------------------------------------------------ #
@@ -194,9 +200,10 @@ class Database:
     def _invalidate(
         self, relation_name: str, delta: int = 0, kind: str = "insert"
     ) -> None:
-        stale = [key for key in self._trie_cache if key[0] == relation_name]
-        for key in stale:
-            del self._trie_cache[key]
+        with self._trie_lock:
+            stale = [key for key in self._trie_cache if key[0] == relation_name]
+            for key in stale:
+                del self._trie_cache[key]
         event = MutationEvent(relation_name, shard=None, delta=delta, kind=kind)
         for callback in self._invalidation_listeners:
             callback(event)
@@ -212,10 +219,13 @@ class Database:
         per engine per experiment.
         """
         key = (relation_name, tuple(attribute_order))
-        if key not in self._trie_cache:
-            relation = self.relation(relation_name)
-            self._trie_cache[key] = TrieIndex(relation, attribute_order)
-        return self._trie_cache[key]
+        with self._trie_lock:
+            trie = self._trie_cache.get(key)
+            if trie is None:
+                relation = self.relation(relation_name)
+                trie = TrieIndex(relation, attribute_order)
+                self._trie_cache[key] = trie
+            return trie
 
     def trie_for_atom(
         self, atom: Atom, variable_order: Sequence[str]

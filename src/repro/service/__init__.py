@@ -19,6 +19,13 @@ Generic Join, pairwise, and the TrieJax accelerator model);
 streams and :mod:`repro.service.metrics` aggregates per-request records
 into service reports.
 
+*How* admitted requests physically execute is pluggable too
+(:mod:`repro.service.backends`): :class:`VirtualTimeBackend` is the
+deterministic virtual-time oracle, :class:`ThreadPoolBackend` overlaps the
+engine work on a host worker pool while keeping the same deterministic
+event order (identical results, cache contents and admission decisions —
+see ``QueryService(backend=..., workers=...)``).
+
 Quick start::
 
     from repro.service import QueryService, WorkloadSpec, generate_requests
@@ -30,13 +37,16 @@ Quick start::
     print(service.report())
 
 .. deprecated::
-    The backend classes and registry re-exported here
-    (``ExecutionBackend``, ``BackendExecution``, ``SoftwareBackend``,
-    ``AcceleratorBackend``, ``BACKEND_FACTORIES``, ``create_backend``) are
-    aliases of their new homes in :mod:`repro.api.engines`; import from
-    :mod:`repro.api` in new code.  :class:`QueryService` itself is most
-    conveniently reached through :meth:`repro.api.Session.serve`, which
-    shares the session's caches and cost router.
+    The engine classes and registry re-exported here
+    (``BackendExecution``, ``SoftwareBackend``, ``AcceleratorBackend``,
+    ``BACKEND_FACTORIES``, ``create_backend``) are aliases of their new
+    homes in :mod:`repro.api.engines`; import from :mod:`repro.api` in new
+    code.  ``ExecutionBackend`` now names the *execution-loop* abstraction
+    from :mod:`repro.service.backends`; the old engine-protocol alias of
+    the same name remains importable from :mod:`repro.service.engines`.
+    :class:`QueryService` itself is most conveniently reached through
+    :meth:`repro.api.Session.serve`, which shares the session's caches and
+    cost router.
 """
 
 from repro.service.admission import (
@@ -45,13 +55,20 @@ from repro.service.admission import (
     PRIORITY_CLASSES,
     PRIORITY_WEIGHTS,
 )
+from repro.service.backends import (
+    EXECUTION_BACKEND_NAMES,
+    EXECUTION_BACKENDS,
+    ExecutionBackend,
+    ThreadPoolBackend,
+    VirtualTimeBackend,
+    create_execution_backend,
+)
 from repro.service.caches import CacheStats, LRUCache, PlanCache, ResultCache
 from repro.service.engines import (
     AcceleratorBackend,
     BACKEND_FACTORIES,
     BACKEND_NAMES,
     BackendExecution,
-    ExecutionBackend,
     SoftwareBackend,
     create_backend,
 )
@@ -63,6 +80,7 @@ from repro.service.scatter import (
     ShardTaskStats,
 )
 from repro.service.service import (
+    BackdatedArrivalWarning,
     QueryOutcome,
     QueryService,
     RESULT_REPLAY_COST,
@@ -84,6 +102,13 @@ __all__ = [
     "AdmissionStats",
     "PRIORITY_CLASSES",
     "PRIORITY_WEIGHTS",
+    "EXECUTION_BACKENDS",
+    "EXECUTION_BACKEND_NAMES",
+    "ExecutionBackend",
+    "ThreadPoolBackend",
+    "VirtualTimeBackend",
+    "create_execution_backend",
+    "BackdatedArrivalWarning",
     "CacheStats",
     "LRUCache",
     "PlanCache",
@@ -92,7 +117,6 @@ __all__ = [
     "BACKEND_FACTORIES",
     "BACKEND_NAMES",
     "BackendExecution",
-    "ExecutionBackend",
     "SoftwareBackend",
     "create_backend",
     "QueryRecord",

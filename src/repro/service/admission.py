@@ -18,10 +18,20 @@ the same discipline one level up, across *requests*:
 
 Within a class, requests dispatch in submission order (FIFO, sequence
 numbers assigned at submit time).
+
+Slot accounting (`submit`/`next_request`/`release`) and the activity
+counters are guarded by an internal lock: the threaded execution backend
+releases slots and dispatches from whatever thread drives the event loop
+while request workers may probe ``in_flight``/``queue_depth``, and the
+unguarded read-modify-write sequences (``self._in_flight += 1``, peak
+tracking) would otherwise lose updates and leak slots.  Determinism is
+unaffected — the seeded lottery is only ever drawn under the lock, in the
+event-loop order the execution backend already guarantees.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Dict, Generic, Optional, Tuple, TypeVar
@@ -93,24 +103,29 @@ class AdmissionController(Generic[T]):
         self._rng = DeterministicRNG(seed)
         self._queues: Dict[str, Deque[T]] = {name: deque() for name in PRIORITY_CLASSES}
         self._in_flight = 0
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
     @property
     def in_flight(self) -> int:
-        return self._in_flight
+        with self._lock:
+            return self._in_flight
 
     @property
     def queue_depth(self) -> int:
-        return sum(len(q) for q in self._queues.values())
+        with self._lock:
+            return sum(len(q) for q in self._queues.values())
 
     @property
     def has_capacity(self) -> bool:
-        return self._in_flight < self.max_in_flight
+        with self._lock:
+            return self._in_flight < self.max_in_flight
 
     def queue_depth_of(self, priority: str) -> int:
-        return len(self._queues[self._check_priority(priority)])
+        with self._lock:
+            return len(self._queues[self._check_priority(priority)])
 
     # ------------------------------------------------------------------ #
     # Submission / dispatch protocol
@@ -123,21 +138,24 @@ class AdmissionController(Generic[T]):
         :meth:`next_request`.
         """
         priority = self._check_priority(priority)
-        self.stats.submitted += 1
-        if self.has_capacity and self.queue_depth == 0:
-            self._occupy_slot()
-            self.stats.admitted_immediately += 1
-            return "admitted"
-        if (
-            self.max_queue_depth is not None
-            and self.queue_depth >= self.max_queue_depth
-        ):
-            self.stats.rejected += 1
-            return "rejected"
-        self._queues[priority].append(request)
-        self.stats.queued += 1
-        self.stats.peak_queue_depth = max(self.stats.peak_queue_depth, self.queue_depth)
-        return "queued"
+        with self._lock:
+            self.stats.submitted += 1
+            if self.has_capacity and self.queue_depth == 0:
+                self._occupy_slot()
+                self.stats.admitted_immediately += 1
+                return "admitted"
+            if (
+                self.max_queue_depth is not None
+                and self.queue_depth >= self.max_queue_depth
+            ):
+                self.stats.rejected += 1
+                return "rejected"
+            self._queues[priority].append(request)
+            self.stats.queued += 1
+            self.stats.peak_queue_depth = max(
+                self.stats.peak_queue_depth, self.queue_depth
+            )
+            return "queued"
 
     def next_request(self) -> Optional[T]:
         """Grant a slot to the next queued request (or ``None``).
@@ -145,23 +163,25 @@ class AdmissionController(Generic[T]):
         The winning class is drawn by the seeded lottery over non-empty
         classes; the class's oldest request dispatches.
         """
-        if not self.has_capacity:
-            return None
-        candidates = [name for name in PRIORITY_CLASSES if self._queues[name]]
-        if not candidates:
-            return None
-        winner = self._rng.weighted_choice(
-            {name: PRIORITY_WEIGHTS[name] for name in candidates}
-        )
-        request = self._queues[winner].popleft()
-        self._occupy_slot()
-        return request
+        with self._lock:
+            if not self.has_capacity:
+                return None
+            candidates = [name for name in PRIORITY_CLASSES if self._queues[name]]
+            if not candidates:
+                return None
+            winner = self._rng.weighted_choice(
+                {name: PRIORITY_WEIGHTS[name] for name in candidates}
+            )
+            request = self._queues[winner].popleft()
+            self._occupy_slot()
+            return request
 
     def release(self) -> None:
         """A running request completed; its slot becomes free."""
-        if self._in_flight <= 0:
-            raise RuntimeError("release() without a matching admission")
-        self._in_flight -= 1
+        with self._lock:
+            if self._in_flight <= 0:
+                raise RuntimeError("release() without a matching admission")
+            self._in_flight -= 1
 
     # ------------------------------------------------------------------ #
     # Internals

@@ -1,0 +1,368 @@
+"""Pluggable execution backends: how the service *runs* admitted requests.
+
+The paper's TrieJax accelerator wins by overlapping many concurrent join
+probes; the serving layer mirrors that at request granularity.  An
+:class:`ExecutionBackend` owns the *mechanics* of executing the requests the
+admission controller dispatches, while the service keeps the *policy*
+(admission, caches, metrics).  Two backends ship:
+
+* :class:`VirtualTimeBackend` — the deterministic virtual-time event loop
+  the service has always run (extracted here, behaviour-identical).  Every
+  execution runs inline on the calling thread and charges its deterministic
+  backend cost as service time.  This is the oracle the tests trust.
+* :class:`ThreadPoolBackend` — real host concurrency.  The *orchestration*
+  stays the exact same virtual-time event loop (arrivals, admission
+  decisions, cache lookups and publications all happen on the draining
+  thread, in the same deterministic order), but the engine work of every
+  in-flight request runs on a :class:`concurrent.futures.ThreadPoolExecutor`
+  and overlaps on the host, with per-request wall-clock spans recorded in
+  :class:`~repro.service.metrics.QueryRecord.wall_elapsed`.
+
+Because the threaded backend only moves the *pure* part of an execution
+(the engine call over the read-only catalog) off the orchestrator thread,
+and resolves every in-flight execution before processing the next
+virtual-time completion event, it produces **bit-identical result sets,
+cache contents/counters and admission decisions** to the virtual-time
+backend for the same seeded workload — only the wall-clock numbers differ.
+``tests/test_service_concurrency.py`` pins that equivalence.
+
+Both event orders share one contract: arrivals are processed in
+``(arrival_time, request_id)`` order and completions in
+``(finish_time, dispatch_sequence)`` order, so ties never depend on host
+scheduling.
+
+**Shard fan-out.**  The threaded backend also hands the scatter-gather
+executor (:mod:`repro.service.scatter`) a ``task_map`` that runs per-shard
+tasks on a *separate* pool, so a sharded catalog's fan-out overlaps too.
+The pools are distinct on purpose: a request worker blocking on shard
+subtasks scheduled into its own saturated pool would deadlock.
+"""
+
+from __future__ import annotations
+
+import abc
+import heapq
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Union
+
+from repro.util.validation import check_positive
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.service.service import QueryOutcome, QueryService, ServiceRequest
+
+#: A parallel-map hook: ``task_map(fn, items)`` returns ``[fn(i) for i in
+#: items]``, possibly computing the elements concurrently.  Results must be
+#: returned in input order.
+TaskMap = Callable[[Callable[[int], object], Sequence[int]], List[object]]
+
+
+def serial_task_map(fn: Callable[[int], object], items: Sequence[int]) -> List[object]:
+    """The trivial task map: run every task inline, in order."""
+    return [fn(item) for item in items]
+
+
+class ExecutionBackend(abc.ABC):
+    """How admitted requests execute: the service's pluggable execution loop.
+
+    Subclasses implement :meth:`_start` (begin executing one dispatched
+    request) and :meth:`_resolve` (block until its deterministic virtual
+    finish time is known).  The shared :meth:`drain` loop owns the
+    event order: it is the virtual-time loop the service has always run,
+    so every subclass inherits the same deterministic admission/cache
+    behaviour and only changes *where* the engine work runs.
+    """
+
+    #: Registry / report name ("virtual", "threads", ...).
+    name: str = "backend"
+
+    # ------------------------------------------------------------------ #
+    # Subclass surface
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def _start(
+        self, service: "QueryService", request: "ServiceRequest", start_time: float
+    ) -> object:
+        """Begin executing ``request`` dispatched at virtual ``start_time``.
+
+        Runs on the orchestrator thread.  The deterministic dispatch phase
+        (cache lookups, plan compilation, backend choice) must happen here,
+        synchronously, so its order matches the virtual-time oracle; the
+        engine work itself may be deferred.  Returns an opaque handle for
+        :meth:`_resolve`.
+        """
+
+    @abc.abstractmethod
+    def _resolve(self, service: "QueryService", handle: object):
+        """Block until ``handle``'s execution finished; return its completion.
+
+        Returns the ``_CompletedRequest`` produced by
+        :meth:`QueryService._finalize`.
+        """
+
+    def close(self) -> None:
+        """Release any host resources (worker pools).  Idempotent."""
+
+    # ------------------------------------------------------------------ #
+    # The shared deterministic event loop
+    # ------------------------------------------------------------------ #
+    def drain(
+        self, service: "QueryService", arrivals: Sequence["ServiceRequest"]
+    ) -> Dict[int, "QueryOutcome"]:
+        """Serve ``arrivals`` (sorted by the arrival contract) to completion.
+
+        Event order contract: arrivals are consumed in ``(arrival_time,
+        request_id)`` order; completions in ``(finish_time,
+        dispatch_sequence)`` order.
+
+        Started executions are settled *lazily*: the loop keeps processing
+        events (and therefore dispatching more executions, which then run
+        concurrently on a pooled backend) as long as the next event
+        provably precedes every unresolved execution's completion.  Every
+        execution charges a **strictly positive** virtual cost (all
+        registered engines and the cache-replay constants guarantee this),
+        so an unresolved execution dispatched at virtual time ``s``
+        finishes strictly after ``s`` — any event at time ``<= s`` is
+        safely next.  Once the next candidate event lies beyond that
+        horizon, all in-flight executions are resolved before the loop
+        continues, so results/partials still publish in exactly the
+        virtual-time order.  The practical consequence: dispatches whose
+        event order is already decided — e.g. a closed-loop backlog's
+        first ``max_in_flight`` admissions — overlap on the pool, while a
+        dispatch whose cache visibility depends on an earlier completion
+        waits for it, exactly as determinism requires.
+        """
+        outcomes: Dict[int, "QueryOutcome"] = {}
+        # Completion events: (finish_time, dispatch sequence, completed).
+        completions: list = []
+        # Unresolved executions: (handle, virtual start time), start order.
+        started: List[tuple] = []
+        sequence = 0
+        clock = service._clock
+        index = 0
+
+        def start(request: "ServiceRequest", start_time: float) -> None:
+            started.append((self._start(service, request, start_time), start_time))
+
+        def settle() -> None:
+            nonlocal sequence
+            for handle, _start_time in started:
+                completed = self._resolve(service, handle)
+                outcomes[completed.request_id] = completed.outcome
+                sequence += 1
+                heapq.heappush(
+                    completions, (completed.record.finish_time, sequence, completed)
+                )
+            started.clear()
+
+        while index < len(arrivals) or completions or started:
+            next_arrival = (
+                arrivals[index].arrival_time if index < len(arrivals) else float("inf")
+            )
+            next_completion = completions[0][0] if completions else float("inf")
+            if started:
+                # Unresolved completions lie strictly beyond the earliest
+                # unresolved start (positive costs); an event beyond that
+                # horizon forces resolution before the order is known.
+                horizon = min(start_time for _handle, start_time in started)
+                if min(next_completion, next_arrival) > horizon:
+                    settle()
+                    continue
+            if next_completion <= next_arrival:
+                finish, _seq, completed = heapq.heappop(completions)
+                clock = max(clock, finish)
+                service._complete(completed)
+                queued = service.admission.next_request()
+                while queued is not None:
+                    start(queued, clock)
+                    queued = service.admission.next_request()
+            else:
+                request = arrivals[index]
+                index += 1
+                clock = max(clock, request.arrival_time)
+                status = service.admission.submit(request, request.priority)
+                if status == "admitted":
+                    start(request, clock)
+                elif status == "rejected":
+                    service._rejected.append(request.request_id)
+        service._clock = clock
+        return outcomes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class VirtualTimeBackend(ExecutionBackend):
+    """The deterministic oracle: every execution runs inline at dispatch.
+
+    Behaviour-identical to the pre-backend :meth:`QueryService.drain` loop:
+    requests execute synchronously on the draining thread the moment they
+    are dispatched, and virtual time is the only clock (no wall-clock spans
+    are recorded).
+    """
+
+    name = "virtual"
+
+    def _start(
+        self, service: "QueryService", request: "ServiceRequest", start_time: float
+    ) -> object:
+        prepared = service._dispatch(request, start_time)
+        execution = prepared.work() if prepared.work is not None else None
+        return service._finalize(prepared, execution)
+
+    def _resolve(self, service: "QueryService", handle: object):
+        return handle  # already completed at _start
+
+
+class ThreadPoolBackend(ExecutionBackend):
+    """Real concurrency: engine work overlaps on a host worker pool.
+
+    Parameters
+    ----------
+    workers:
+        Worker threads for request-level engine executions.  Effective
+        overlap is at most ``min(workers, max_in_flight)``, and only
+        executions whose virtual event order is already decided overlap —
+        a closed-loop backlog's initial admissions run together, while a
+        dispatch whose cache visibility depends on an earlier completion
+        waits for it (see :meth:`ExecutionBackend.drain`); determinism is
+        the constraint, not the pool size.
+    shard_workers:
+        Worker threads of the *separate* pool the scatter-gather executor
+        fans per-shard tasks onto (defaults to ``workers``).  Separate so
+        a request worker waiting on its shard tasks cannot deadlock.
+
+    Determinism: dispatch-phase cache/plan lookups, admission decisions and
+    result publications all stay on the orchestrator thread in virtual-time
+    order, so everything observable except wall-clock timings matches
+    :class:`VirtualTimeBackend` exactly (see the module docstring).  Note
+    that on CPython the GIL serialises pure-Python engine work, so
+    wall-clock gains are modest unless engines release the GIL; the point
+    of this backend is the architecture (and honest wall-clock numbers),
+    measured by ``benchmarks/bench_concurrency.py``.
+    """
+
+    name = "threads"
+
+    def __init__(self, workers: int = 4, shard_workers: Optional[int] = None):
+        check_positive("workers", workers)
+        if shard_workers is not None:
+            check_positive("shard_workers", shard_workers)
+        self.workers = workers
+        self.shard_workers = shard_workers if shard_workers is not None else workers
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._shard_pool: Optional[ThreadPoolExecutor] = None
+        # Pools are created lazily; shard_task_map runs on concurrent
+        # request workers, so creation must not race (a losing duplicate
+        # executor would leak its threads past close()).
+        self._pool_lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # Pools
+    # ------------------------------------------------------------------ #
+    def _request_pool(self) -> ThreadPoolExecutor:
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.workers, thread_name_prefix="repro-request"
+                )
+            return self._pool
+
+    def shard_task_map(self, fn: Callable[[int], object], items: Sequence[int]):
+        """Run per-shard scatter tasks on the dedicated shard pool, in order."""
+        if len(items) <= 1:
+            return serial_task_map(fn, items)
+        with self._pool_lock:
+            if self._shard_pool is None:
+                self._shard_pool = ThreadPoolExecutor(
+                    max_workers=self.shard_workers, thread_name_prefix="repro-shard"
+                )
+            pool = self._shard_pool
+        return list(pool.map(fn, items))
+
+    def close(self) -> None:
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+            shard_pool, self._shard_pool = self._shard_pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+        if shard_pool is not None:
+            shard_pool.shutdown(wait=True)
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def _start(
+        self, service: "QueryService", request: "ServiceRequest", start_time: float
+    ) -> object:
+        prepared = service._dispatch(request, start_time, task_map=self.shard_task_map)
+        if prepared.work is None:
+            return (prepared, None)
+
+        def timed_work():
+            wall_start = time.perf_counter()
+            execution = prepared.work()
+            return execution, time.perf_counter() - wall_start
+
+        future: Future = self._request_pool().submit(timed_work)
+        return (prepared, future)
+
+    def _resolve(self, service: "QueryService", handle: object):
+        prepared, future = handle
+        if future is None:
+            return service._finalize(prepared, None)
+        execution, wall_elapsed = future.result()
+        return service._finalize(prepared, execution, wall_elapsed=wall_elapsed)
+
+
+#: Execution-backend registry used by ``QueryService(backend=...)`` and the
+#: CLI's ``workload --backend`` flag.
+EXECUTION_BACKENDS: Dict[str, Callable[..., ExecutionBackend]] = {
+    "virtual": lambda workers=None: VirtualTimeBackend(),
+    # workers=None means "the default"; explicit invalid counts (0, -1)
+    # must reach ThreadPoolBackend's validation, not be silently replaced.
+    "threads": lambda workers=None: ThreadPoolBackend(
+        workers=4 if workers is None else workers
+    ),
+}
+
+#: Registered execution-backend names, sorted for stable CLI choice lists.
+EXECUTION_BACKEND_NAMES = tuple(sorted(EXECUTION_BACKENDS))
+
+
+def create_execution_backend(
+    backend: Union[str, ExecutionBackend, None],
+    workers: Optional[int] = None,
+) -> ExecutionBackend:
+    """Resolve ``backend`` to a ready :class:`ExecutionBackend`.
+
+    ``None`` picks :class:`ThreadPoolBackend` when ``workers`` asks for more
+    than one worker and the deterministic :class:`VirtualTimeBackend`
+    otherwise; a string resolves through :data:`EXECUTION_BACKENDS`; a ready
+    instance passes through (``workers`` is then ignored).
+    """
+    if isinstance(backend, ExecutionBackend):
+        return backend
+    if backend is None:
+        backend = "threads" if workers is not None and workers > 1 else "virtual"
+    try:
+        factory = EXECUTION_BACKENDS[backend]
+    except KeyError:
+        raise KeyError(
+            f"unknown execution backend {backend!r}; "
+            f"registered: {', '.join(EXECUTION_BACKEND_NAMES)}"
+        ) from None
+    return factory(workers=workers)
+
+
+__all__ = [
+    "EXECUTION_BACKENDS",
+    "EXECUTION_BACKEND_NAMES",
+    "ExecutionBackend",
+    "TaskMap",
+    "ThreadPoolBackend",
+    "VirtualTimeBackend",
+    "create_execution_backend",
+    "serial_task_map",
+]

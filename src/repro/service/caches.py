@@ -23,10 +23,21 @@ Both caches are bounded by entry count and evict in LRU order, and both keep
 the same style of hit/miss/eviction counters as
 :class:`~repro.core.pjr_cache.PJRCacheStats` so service reports can show
 plan- and result-reuse rates side by side.
+
+**Thread safety.**  The serving layer's threaded execution backend
+(:class:`repro.service.backends.ThreadPoolBackend`) reads these caches from
+worker threads — the scatter-gather executor probes the per-shard partial
+cache from every concurrent request.  Unsynchronised, the ``OrderedDict``
+corrupts (``move_to_end`` racing a structural mutation) and the ``+=``
+stats counters lose updates, so every public operation takes the cache's
+internal re-entrant lock.  The lock protects *individual operations*; the
+cross-operation ordering that determinism needs (get-before-publish) is the
+execution backend's job.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Generic, Iterable, List, Optional, Set, Tuple, TypeVar, Union
@@ -108,16 +119,21 @@ class LRUCache(Generic[V]):
         self.capacity = capacity
         self.stats = CacheStats()
         self._entries: "OrderedDict[str, V]" = OrderedDict()
+        # Re-entrant: compound operations (put_result → put, invalidate →
+        # discard) nest inside one acquisition, and subclass hooks
+        # (_on_evict) run under it.
+        self._lock = threading.RLock()
 
     def get(self, key: str) -> Optional[V]:
         """Return the cached value (refreshing LRU order) or ``None``."""
-        self.stats.lookups += 1
-        entry = self._entries.get(key)
-        if entry is None:
-            return None
-        self._entries.move_to_end(key)
-        self.stats.hits += 1
-        return entry
+        with self._lock:
+            self.stats.lookups += 1
+            entry = self._entries.get(key)
+            if entry is None:
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry
 
     def put(self, key: str, value: V) -> None:
         """Insert/replace ``key``, evicting LRU entries past capacity.
@@ -126,50 +142,60 @@ class LRUCache(Generic[V]):
         insertion — the entry count does not grow, so no eviction can be
         triggered and reuse reports stay honest.
         """
-        if key in self._entries:
-            self._entries.move_to_end(key)
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._entries[key] = value
+                self.stats.replacements += 1
+                return
             self._entries[key] = value
-            self.stats.replacements += 1
-            return
-        self._entries[key] = value
-        self.stats.insertions += 1
-        while len(self._entries) > self.capacity:
-            victim_key, _ = self._entries.popitem(last=False)
-            self._on_evict(victim_key)
-            self.stats.evictions += 1
+            self.stats.insertions += 1
+            while len(self._entries) > self.capacity:
+                victim_key, _ = self._entries.popitem(last=False)
+                self._on_evict(victim_key)
+                self.stats.evictions += 1
 
     def peek(self, key: str) -> Optional[V]:
         """Inspect an entry without touching statistics or LRU order (tests)."""
-        return self._entries.get(key)
+        with self._lock:
+            return self._entries.get(key)
 
     def discard(self, key: str) -> bool:
         """Drop ``key`` (an invalidation, not an eviction); True if present."""
-        if key not in self._entries:
-            return False
-        del self._entries[key]
-        self._on_evict(key)
-        self.stats.invalidations += 1
-        return True
+        with self._lock:
+            if key not in self._entries:
+                return False
+            del self._entries[key]
+            self._on_evict(key)
+            self.stats.invalidations += 1
+            return True
 
     def clear(self) -> None:
         """Drop every entry, counted under ``clears`` (not invalidations)."""
-        for key in list(self._entries):
-            del self._entries[key]
-            self._on_evict(key)
-            self.stats.clears += 1
+        with self._lock:
+            for key in list(self._entries):
+                del self._entries[key]
+                self._on_evict(key)
+                self.stats.clears += 1
 
     def keys(self) -> Tuple[str, ...]:
         """Current keys in LRU order (least recently used first)."""
-        return tuple(self._entries)
+        with self._lock:
+            return tuple(self._entries)
 
     def _on_evict(self, key: str) -> None:
-        """Subclass hook: an entry left the cache (evicted or invalidated)."""
+        """Subclass hook: an entry left the cache (evicted or invalidated).
+
+        Always invoked with the cache lock held.
+        """
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: str) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
 
 class PlanCache(LRUCache[Tuple[ConjunctiveQuery, JoinPlan]]):
@@ -208,12 +234,13 @@ class ResultCache(LRUCache[List[Tuple[int, ...]]]):
         dependencies = tuple(
             dict.fromkeys(normalize_dependency(d) for d in relation_names)
         )
-        if key in self._dependencies:
-            self._drop_dependency_index(key)
-        self._dependencies[key] = dependencies
-        for relation, shard in dependencies:
-            self._dependents.setdefault(relation, {}).setdefault(shard, set()).add(key)
-        self.put(key, tuples)
+        with self._lock:
+            if key in self._dependencies:
+                self._drop_dependency_index(key)
+            self._dependencies[key] = dependencies
+            for relation, shard in dependencies:
+                self._dependents.setdefault(relation, {}).setdefault(shard, set()).add(key)
+            self.put(key, tuples)
 
     def invalidate(self, event: MutationEvent) -> int:
         """Drop every entry dependent on the mutated fragment; return the count.
@@ -222,18 +249,19 @@ class ResultCache(LRUCache[List[Tuple[int, ...]]]):
         mentions the relation at any shard; a shard event drops entries
         depending on that shard or on the whole relation.
         """
-        by_shard = self._dependents.get(event.relation)
-        if not by_shard:
-            return 0
-        if event.shard is None:
-            keys: Set[str] = set().union(*by_shard.values())
-        else:
-            keys = set(by_shard.get(None, ())) | set(by_shard.get(event.shard, ()))
-        dropped = 0
-        for key in sorted(keys):  # sorted: deterministic drop order
-            if self.discard(key):
-                dropped += 1
-        return dropped
+        with self._lock:
+            by_shard = self._dependents.get(event.relation)
+            if not by_shard:
+                return 0
+            if event.shard is None:
+                keys: Set[str] = set().union(*by_shard.values())
+            else:
+                keys = set(by_shard.get(None, ())) | set(by_shard.get(event.shard, ()))
+            dropped = 0
+            for key in sorted(keys):  # sorted: deterministic drop order
+                if self.discard(key):
+                    dropped += 1
+            return dropped
 
     def invalidate_relation(self, relation_name: str) -> int:
         """Drop every entry computed from any shard of ``relation_name``."""
@@ -241,7 +269,8 @@ class ResultCache(LRUCache[List[Tuple[int, ...]]]):
 
     def dependencies_of(self, key: str) -> Tuple[ShardDependency, ...]:
         """The fragment dependencies recorded for ``key`` (tests/debugging)."""
-        return self._dependencies.get(key, ())
+        with self._lock:
+            return self._dependencies.get(key, ())
 
     def _drop_dependency_index(self, key: str) -> None:
         for relation, shard in self._dependencies.pop(key, ()):

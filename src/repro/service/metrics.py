@@ -14,7 +14,7 @@ tables.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.eval.metrics import summarise_latencies
 from repro.eval.reporting import format_latency_summary, format_table
@@ -26,7 +26,12 @@ class QueryRecord:
 
     Times are in the service's virtual clock (modelled nanoseconds, see
     :mod:`repro.service.engines`); ``service_time`` is the backend-charged
-    cost, a small constant for result-cache hits.
+    cost, a small constant for result-cache hits.  ``wall_elapsed`` is the
+    *host* wall-clock span (seconds) of the request's engine work when a
+    concurrent execution backend measured one — ``None`` under the
+    virtual-time backend and for cache hits (no engine ran).  Virtual and
+    wall clocks are different units on purpose: virtual time is the
+    deterministic model, wall time is the measurement.
     """
 
     request_id: int
@@ -42,6 +47,7 @@ class QueryRecord:
     result_cache_hit: bool
     plan_cache_hit: bool
     compiled: bool
+    wall_elapsed: Optional[float] = None
 
     @property
     def queue_wait(self) -> float:
@@ -56,9 +62,16 @@ class QueryRecord:
 
 @dataclass
 class ServiceMetrics:
-    """Aggregate view over all completed requests of one service."""
+    """Aggregate view over all completed requests of one service.
+
+    ``wall_drain_seconds`` accumulates the host wall-clock time spent inside
+    :meth:`QueryService.drain` (all drains of this service), so wall-clock
+    throughput is available next to the virtual-time numbers whatever the
+    execution backend.
+    """
 
     records: List[QueryRecord] = field(default_factory=list)
+    wall_drain_seconds: float = 0.0
 
     def record(self, record: QueryRecord) -> None:
         self.records.append(record)
@@ -89,6 +102,24 @@ class ServiceMetrics:
 
     def queue_wait_summary(self) -> Dict[str, float]:
         return summarise_latencies([r.queue_wait for r in self.records])
+
+    def wall_execution_summary(self) -> Dict[str, float]:
+        """Host wall-clock spans of measured engine work (seconds).
+
+        Only records with a measured ``wall_elapsed`` contribute (the
+        threaded backend measures; the virtual backend and cache hits do
+        not), so the summary ``count`` may be below :attr:`completed` —
+        that is the honest number of measured executions, not a bug.
+        """
+        return summarise_latencies(
+            [r.wall_elapsed for r in self.records if r.wall_elapsed is not None]
+        )
+
+    def wall_throughput(self) -> float:
+        """Completed requests per host second spent draining (0 if unmeasured)."""
+        if self.wall_drain_seconds <= 0:
+            return 0.0
+        return self.completed / self.wall_drain_seconds
 
     def result_cache_hit_rate(self) -> float:
         if not self.records:
@@ -166,6 +197,20 @@ class ServiceMetrics:
             f"plan-cache hit rate  : {self.plan_cache_hit_rate():.1%}",
             f"fresh compilations   : {self.compiles()}",
         ]
+        if self.wall_drain_seconds > 0:
+            lines.append(
+                f"host drain time      : {self.wall_drain_seconds:.3f} s wall "
+                f"({self.wall_throughput():.1f} requests/s)"
+            )
+        wall = self.wall_execution_summary()
+        if wall["count"]:
+            # Engine spans are fractions of a second; report milliseconds so
+            # the one-decimal rendering keeps signal.
+            scaled = {
+                key: value * 1e3 if key != "count" else value
+                for key, value in wall.items()
+            }
+            lines.append(format_latency_summary("host execution", scaled, unit="ms"))
         lines.extend(cache_lines)
         lines.append(
             format_table(

@@ -28,12 +28,20 @@ execution's cost is the slowest task (critical path) plus a per-task
 dispatch charge and a per-tuple merge charge
 (:data:`~repro.relational.sharding.SCATTER_DISPATCH_COST_NS`,
 :data:`~repro.relational.sharding.SCATTER_MERGE_COST_PER_TUPLE_NS`).
+
+**Host concurrency.**  :meth:`ScatterGatherExecutor.execute` accepts a
+``task_map`` hook (see :mod:`repro.service.backends`): the per-shard engine
+executions of one fan-out then genuinely overlap on a worker pool.  The
+partial-cache probes stay sequential in shard order and the gather step
+assembles results in shard order, so every observable (tuples, costs,
+cache counters, aggregated stats) is identical to the serial fan-out.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.api.engines import EngineExecution, EngineProtocol
 from repro.joins.compiler import QueryCompiler
@@ -167,7 +175,11 @@ class ScatterGatherExecutor:
         self.compiler = compiler or QueryCompiler(enable_caching=True)
         # Rewritten plans by (canonical signature, seed index): pure query
         # structure, shared by every shard and never invalidated by data.
+        # Locked: concurrent requests may compile the same signature from
+        # worker threads; compilation is deterministic, so serialising it
+        # only avoids duplicate work and a torn check-then-insert.
         self._plan_memo: Dict[Tuple[str, int], JoinPlan] = {}
+        self._plan_lock = threading.Lock()
 
     def spec_for(self, query: ConjunctiveQuery) -> Optional[ScatterSpec]:
         """The catalog's scatter spec for ``query`` (``None`` = run globally)."""
@@ -190,11 +202,12 @@ class ScatterGatherExecutor:
 
     def _plan_for(self, signature: str, spec: ScatterSpec) -> JoinPlan:
         key = (signature, spec.seed_index)
-        plan = self._plan_memo.get(key)
-        if plan is None:
-            plan = self.compiler.compile(spec.query)
-            self._plan_memo[key] = plan
-        return plan
+        with self._plan_lock:
+            plan = self._plan_memo.get(key)
+            if plan is None:
+                plan = self.compiler.compile(spec.query)
+                self._plan_memo[key] = plan
+            return plan
 
     def execute(
         self,
@@ -203,6 +216,9 @@ class ScatterGatherExecutor:
         spec: Optional[ScatterSpec] = None,
         collect_partials: Optional[
             List[Tuple[str, List[Tuple[int, ...]], Tuple[ShardDependency, ...]]]
+        ] = None,
+        task_map: Optional[
+            Callable[[Callable[[int], EngineExecution], Sequence[int]], List[EngineExecution]]
         ] = None,
     ) -> EngineExecution:
         """Scatter ``query`` over the shards through ``engine`` and gather.
@@ -221,6 +237,12 @@ class ScatterGatherExecutor:
         event, preserving the causality the result cache already honours
         (a concurrent duplicate must not replay a result that has not
         finished yet in virtual time).
+
+        ``task_map`` runs the per-shard engine executions (a concurrent
+        execution backend passes a worker-pool map; ``None`` runs them
+        inline).  It must return results in input order; everything ordered
+        — cache probes, gather, stats aggregation, partial publication —
+        happens in shard order on the calling thread either way.
         """
         if spec is None:
             spec = self.spec_for(query)
@@ -237,24 +259,47 @@ class ScatterGatherExecutor:
         computed_any = False
         plan_used = False
         cacheable = True
+
+        # Phase 1 — probe the partial cache sequentially in shard order
+        # (deterministic counters) and collect the shards left to compute.
+        fragment_sizes: Dict[int, int] = {}
+        replayed: Dict[int, List[Tuple[int, ...]]] = {}
+        to_compute: List[int] = []
         for shard in range(self.catalog.num_shards):
-            fragment_size = self.catalog.shard_relation(
+            fragment_sizes[shard] = self.catalog.shard_relation(
                 spec.seed_relation, shard
             ).cardinality
             key = partial_key(signature, shard)
             cached = self.partial_cache.get(key) if self.partial_cache is not None else None
             if cached is not None:
+                replayed[shard] = cached
+            else:
+                to_compute.append(shard)
+
+        # Phase 2 — run the missed shard tasks, possibly on a worker pool.
+        def run_shard(shard: int) -> EngineExecution:
+            view = self.catalog.shard_view(shard, spec)
+            if plan is not None:
+                return engine.execute(spec.query, view, plan=plan)
+            return engine.execute(spec.query, view)
+
+        if task_map is not None:
+            executions = dict(zip(to_compute, task_map(run_shard, to_compute)))
+        else:
+            executions = {shard: run_shard(shard) for shard in to_compute}
+
+        # Phase 3 — gather in shard order (identical to the serial fan-out).
+        for shard in range(self.catalog.num_shards):
+            fragment_size = fragment_sizes[shard]
+            if shard in replayed:
+                cached = replayed[shard]
                 tasks.append(
                     ShardTaskStats(shard, len(cached), PARTIAL_REPLAY_COST_NS, True, fragment_size)
                 )
                 partials.append(cached)
                 replayed_lengths.append(len(cached))
                 continue
-            view = self.catalog.shard_view(shard, spec)
-            if plan is not None:
-                execution = engine.execute(spec.query, view, plan=plan)
-            else:
-                execution = engine.execute(spec.query, view)
+            execution = executions[shard]
             computed_any = True
             plan_used = plan_used or execution.plan_used
             cacheable = cacheable and execution.cacheable
@@ -262,6 +307,7 @@ class ScatterGatherExecutor:
                 counts.append(execution.count)
             _merge_join_stats(aggregated, execution.stats)
             if self.partial_cache is not None and execution.cacheable:
+                key = partial_key(signature, shard)
                 entry = (key, execution.tuples, self.dependencies_for(spec, shard))
                 if collect_partials is not None:
                     collect_partials.append(entry)

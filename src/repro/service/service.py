@@ -21,30 +21,62 @@ through arrival/completion events.  The clock persists across drains, and a
 freshly computed result enters the result cache only at its request's
 *completion* event, so a concurrent duplicate can never observe a result
 that has not finished yet in virtual time.  Identical (workload, seed)
-configurations produce bit-identical metrics, queue waits included, while
-host wall-clock throughput is still available to the benchmarks via
-measured spans.
+configurations produce bit-identical metrics, queue waits included.
+
+*Where* executions physically run is pluggable
+(:mod:`repro.service.backends`): the default
+:class:`~repro.service.backends.VirtualTimeBackend` runs them inline on the
+draining thread (the deterministic oracle), while
+:class:`~repro.service.backends.ThreadPoolBackend` overlaps the engine work
+of in-flight requests on a host worker pool — same virtual-time event
+order, same results and cache contents, plus wall-clock spans in the
+metrics.
+
+**Event-order contract.**  Arrivals are served in ``(arrival_time,
+request_id)`` order — equal-time requests always dispatch in submission
+order — and the virtual clock never moves backwards: a submission with an
+explicit ``arrival_time`` earlier than the persisted clock is *back-dated*
+and, per the service's ``backdated_arrivals`` policy, :meth:`submit`
+either rejects it with ``ValueError`` or accepts it under a
+:class:`BackdatedArrivalWarning` (it then drains clamped to the clock).
 """
 
 from __future__ import annotations
 
-import heapq
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+import threading
+import time
+import warnings
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.api.engines import EngineProtocol as ExecutionBackend
+from repro.api.engines import EngineExecution, EngineProtocol
 from repro.api.engines import create_engine as create_backend
 from repro.joins.compiler import QueryCompiler
 from repro.relational.catalog import Database
 from repro.relational.query import ConjunctiveQuery
 from repro.relational.sharding import ShardedDatabase
 from repro.service.admission import AdmissionController
+from repro.service.backends import ExecutionBackend, TaskMap, create_execution_backend
 from repro.service.caches import PlanCache, ResultCache
 from repro.service.metrics import QueryRecord, ServiceMetrics
 from repro.service.scatter import ScatterGatherExecutor
 
 #: Virtual-time cost charged to a request answered from the result cache.
 RESULT_REPLAY_COST = 1.0
+
+#: Accepted ``backdated_arrivals`` policies.
+BACKDATED_POLICIES = ("warn", "raise")
+
+
+class BackdatedArrivalWarning(UserWarning):
+    """An explicitly-dated submission lay before the persisted virtual clock.
+
+    The request will be clamped to the clock when it drains (the clock
+    never moves backwards), which can reorder it relative to what its
+    literal arrival time suggested.  Construct the service with
+    ``backdated_arrivals="raise"`` to have :meth:`QueryService.submit`
+    reject such submissions instead.
+    """
 
 
 @dataclass
@@ -68,6 +100,42 @@ class QueryOutcome:
     @property
     def cardinality(self) -> int:
         return len(self.tuples)
+
+
+@dataclass
+class _PreparedRequest:
+    """The deterministic dispatch phase of one request, work still pending.
+
+    Produced by :meth:`QueryService._dispatch` on the orchestrator thread
+    (cache lookups, plan compilation, backend choice — everything whose
+    *order* must match the virtual-time oracle).  ``work`` is the engine
+    execution itself: a pure closure over the read-only catalog that an
+    execution backend may run on any thread; ``None`` when the result cache
+    already answered.
+    """
+
+    request: ServiceRequest
+    start_time: float
+    signature: str
+    backend: EngineProtocol
+    work: Optional[Callable[[], EngineExecution]]
+    tuples: Optional[List[Tuple[int, ...]]] = None  # set for result-cache hits
+    result_cache_hit: bool = False
+    plan_cache_hit: bool = False
+    compiled: bool = False
+    cache_dependencies: Optional[Tuple[str, ...]] = None
+    partial_entries: List = field(default_factory=list)
+
+
+@dataclass
+class _CompletedRequest:
+    """One finished execution, ready for its virtual-time completion event."""
+
+    request_id: int
+    outcome: QueryOutcome
+    record: QueryRecord
+    cache_entry: Optional[Tuple[str, List[Tuple[int, ...]], Tuple[str, ...]]]
+    partial_entries: List
 
 
 class QueryService:
@@ -97,6 +165,20 @@ class QueryService:
         reuse each other's plans and results).  When a result cache is
         passed in, the caller owns its invalidation wiring and the service
         does not subscribe it again.
+    backend / workers:
+        The *execution* backend (how admitted requests physically run, see
+        :mod:`repro.service.backends`): ``"virtual"`` (deterministic
+        inline loop, the default), ``"threads"`` (engine work overlaps on
+        a ``workers``-wide host pool), or a ready
+        :class:`~repro.service.backends.ExecutionBackend`.  ``backend=None``
+        with ``workers > 1`` selects the threaded backend.
+    backdated_arrivals:
+        What :meth:`submit` does with an explicit ``arrival_time`` that
+        lies before the persisted virtual clock: ``"warn"`` (default)
+        accepts it with a :class:`BackdatedArrivalWarning` (it drains
+        clamped to the clock); ``"raise"`` rejects the submission with
+        ``ValueError``.  Service-dated arrivals ("arrive now") never
+        trigger the policy.
     max_in_flight / max_queue_depth / seed:
         Admission-control knobs (see
         :class:`~repro.service.admission.AdmissionController`).
@@ -105,7 +187,7 @@ class QueryService:
     def __init__(
         self,
         database: Database,
-        backends: Sequence[Union[str, ExecutionBackend]] = ("lftj", "ctj"),
+        backends: Sequence[Union[str, EngineProtocol]] = ("lftj", "ctj"),
         compiler: Optional[QueryCompiler] = None,
         plan_cache_capacity: int = 128,
         result_cache_capacity: int = 256,
@@ -116,29 +198,45 @@ class QueryService:
         result_cache: Optional[ResultCache] = None,
         router=None,
         scatter: Optional[ScatterGatherExecutor] = None,
+        backend: Union[str, ExecutionBackend, None] = None,
+        workers: Optional[int] = None,
+        backdated_arrivals: str = "warn",
     ):
         if not backends:
             raise ValueError("QueryService needs at least one backend")
+        if backdated_arrivals not in BACKDATED_POLICIES:
+            raise ValueError(
+                f"backdated_arrivals must be one of {BACKDATED_POLICIES}, "
+                f"got {backdated_arrivals!r}"
+            )
         self.database = database
         self.compiler = compiler or QueryCompiler(enable_caching=True)
         self.router = router
-        self.backends: Dict[str, ExecutionBackend] = {}
+        self.backends: Dict[str, EngineProtocol] = {}
         self._rotation: List[str] = []
         for entry in backends:
-            backend = create_backend(entry) if isinstance(entry, str) else entry
-            self.backends[backend.name] = backend
-            self._rotation.append(backend.name)
+            engine = create_backend(entry) if isinstance(entry, str) else entry
+            self.backends[engine.name] = engine
+            self._rotation.append(engine.name)
         self.plan_cache = plan_cache if plan_cache is not None else PlanCache(plan_cache_capacity)
         self.admission: AdmissionController[ServiceRequest] = AdmissionController(
             max_in_flight=max_in_flight, max_queue_depth=max_queue_depth, seed=seed
         )
         self.metrics = ServiceMetrics()
+        self.execution_backend = create_execution_backend(backend, workers)
+        self.backdated_arrivals = backdated_arrivals
         self._pending: List[ServiceRequest] = []
         self._rejected: List[int] = []
         self._next_request_id = 0
         self._next_rotation = 0
         self._last_arrival = 0.0
         self._clock = 0.0
+        # Submission state (ids, pending list, last arrival) may be touched
+        # from worker threads of a closed-loop driver; the drain lock
+        # serialises whole drains so two threads never run the event loop
+        # concurrently over the same admission/cache state.
+        self._submit_lock = threading.Lock()
+        self._drain_lock = threading.Lock()
         if result_cache is not None:
             self.result_cache = result_cache
         else:
@@ -171,101 +269,84 @@ class QueryService:
 
         ``arrival_time`` is in virtual time; omitted, the request arrives
         together with the latest submission so far (a closed-loop backlog).
+        Explicitly dating an arrival before the current :attr:`clock` is
+        back-dating: depending on the service's ``backdated_arrivals``
+        policy, the submission either warns (:class:`BackdatedArrivalWarning`;
+        the request drains clamped to the clock) or is rejected with
+        ``ValueError`` and nothing is enqueued.
         """
         if backend is not None and backend not in self.backends:
             raise KeyError(
                 f"backend {backend!r} not configured; have {sorted(self.backends)}"
             )
         self.database.validate_query(query)
-        if arrival_time is None:
-            arrival_time = self._last_arrival
-        self._last_arrival = max(self._last_arrival, arrival_time)
-        request = ServiceRequest(
-            self._next_request_id, query, priority, arrival_time, backend
-        )
-        self._next_request_id += 1
-        self._pending.append(request)
+        if arrival_time is not None and arrival_time < self._clock:
+            message = (
+                f"arrival_time {arrival_time:.1f} lies before the service "
+                f"clock {self._clock:.1f}; the virtual clock never moves "
+                f"backwards, so the request would drain at {self._clock:.1f}"
+            )
+            if self.backdated_arrivals == "raise":
+                raise ValueError(message)
+            warnings.warn(message, BackdatedArrivalWarning, stacklevel=2)
+        with self._submit_lock:
+            if arrival_time is None:
+                arrival_time = self._last_arrival
+            self._last_arrival = max(self._last_arrival, arrival_time)
+            request = ServiceRequest(
+                self._next_request_id, query, priority, arrival_time, backend
+            )
+            self._next_request_id += 1
+            self._pending.append(request)
         return request.request_id
 
     # ------------------------------------------------------------------ #
     # Serving
     # ------------------------------------------------------------------ #
+    @property
+    def clock(self) -> float:
+        """The persisted virtual clock (advances across :meth:`drain` calls)."""
+        return self._clock
+
+    def _take_arrivals(self) -> List[ServiceRequest]:
+        """Claim the pending requests, apply the arrival-order contract.
+
+        Arrivals before the persisted clock are clamped to it — the clock
+        never moves backwards.  (The ``backdated_arrivals`` policy already
+        fired at :meth:`submit` time for explicitly-dated requests;
+        service-dated ones simply mean "arrive now".)  The returned list is
+        sorted by ``(arrival_time, request_id)`` — the documented
+        tie-break, so equal-time requests always enter admission in
+        submission order, independent of drain boundaries.
+        """
+        with self._submit_lock:
+            pending, self._pending = self._pending, []
+        for request in pending:
+            if request.arrival_time < self._clock:
+                request.arrival_time = self._clock
+        pending.sort(key=lambda r: (r.arrival_time, r.request_id))
+        return pending
+
     def drain(self) -> Dict[int, QueryOutcome]:
         """Serve every pending request to completion; return their outcomes by id.
 
-        Runs the virtual-time event loop: arrivals enter admission control,
+        Runs the virtual-time event loop (see
+        :meth:`repro.service.backends.ExecutionBackend.drain`): arrivals
+        enter admission control in ``(arrival_time, request_id)`` order,
         admitted requests execute (charging their deterministic backend
         cost as service time) and completions free slots for the queued
-        remainder.  The clock carries over from previous drains (arrivals
-        dated before the current clock are clamped to it), and freshly
-        computed results are published to the result cache at their
+        remainder.  The clock carries over from previous drains, and
+        freshly computed results are published to the result cache at their
         completion event, never earlier.  Rejected requests (bounded queue)
         appear in :attr:`rejected_requests`, not in the returned outcomes.
         """
-        for request in self._pending:
-            request.arrival_time = max(request.arrival_time, self._clock)
-        arrivals = sorted(self._pending, key=lambda r: (r.arrival_time, r.request_id))
-        self._pending = []
-        outcomes: Dict[int, QueryOutcome] = {}
-        # Completion events: (finish, seq, record, deferred result-cache
-        # entry, deferred per-shard partial-cache entries).
-        completions: List[
-            Tuple[
-                float,
-                int,
-                QueryRecord,
-                Optional[Tuple[str, List[Tuple[int, ...]], Tuple[str, ...]]],
-                List,
-            ]
-        ] = []
-        sequence = 0
-        clock = self._clock
-        index = 0
-
-        def start(request: ServiceRequest, start_time: float) -> None:
-            nonlocal sequence
-            outcome, record, cache_entry, partial_entries = self._execute(
-                request, start_time
-            )
-            outcomes[request.request_id] = outcome
-            sequence += 1
-            heapq.heappush(
-                completions,
-                (record.finish_time, sequence, record, cache_entry, partial_entries),
-            )
-
-        while index < len(arrivals) or completions:
-            next_arrival = (
-                arrivals[index].arrival_time if index < len(arrivals) else float("inf")
-            )
-            next_completion = completions[0][0] if completions else float("inf")
-            if next_completion <= next_arrival:
-                finish, _seq, record, cache_entry, partial_entries = heapq.heappop(
-                    completions
-                )
-                clock = max(clock, finish)
-                self.admission.release()
-                if cache_entry is not None:
-                    signature, tuples, relation_names = cache_entry
-                    self.result_cache.put_result(signature, tuples, relation_names)
-                if partial_entries:
-                    self.scatter.publish_partials(partial_entries)
-                self.metrics.record(record)
-                queued = self.admission.next_request()
-                while queued is not None:
-                    start(queued, clock)
-                    queued = self.admission.next_request()
-            else:
-                request = arrivals[index]
-                index += 1
-                clock = max(clock, request.arrival_time)
-                status = self.admission.submit(request, request.priority)
-                if status == "admitted":
-                    start(request, clock)
-                elif status == "rejected":
-                    self._rejected.append(request.request_id)
-        self._clock = clock
-        return outcomes
+        with self._drain_lock:
+            arrivals = self._take_arrivals()
+            started = time.perf_counter()
+            try:
+                return self.execution_backend.drain(self, arrivals)
+            finally:
+                self.metrics.wall_drain_seconds += time.perf_counter() - started
 
     def serve(
         self, query: ConjunctiveQuery, priority: str = "normal", backend: Optional[str] = None
@@ -273,6 +354,10 @@ class QueryService:
         """Submit one query and serve everything pending; returns its outcome."""
         request_id = self.submit(query, priority=priority, backend=backend)
         return self.drain()[request_id]
+
+    def close(self) -> None:
+        """Release the execution backend's host resources (worker pools)."""
+        self.execution_backend.close()
 
     @property
     def rejected_requests(self) -> Tuple[int, ...]:
@@ -289,7 +374,7 @@ class QueryService:
     # ------------------------------------------------------------------ #
     # Execution of one request
     # ------------------------------------------------------------------ #
-    def _choose_backend(self, request: ServiceRequest) -> ExecutionBackend:
+    def _choose_backend(self, request: ServiceRequest) -> EngineProtocol:
         if request.backend is not None:
             return self.backends[request.backend]
         if self.router is not None:
@@ -299,94 +384,137 @@ class QueryService:
         self._next_rotation += 1
         return self.backends[name]
 
-    def _execute(
-        self, request: ServiceRequest, start_time: float
-    ) -> Tuple[
-        QueryOutcome,
-        QueryRecord,
-        Optional[Tuple[str, List[Tuple[int, ...]], Tuple[str, ...]]],
-        List,
-    ]:
-        """Run one dispatched request; returns (outcome, record, cache
-        entry, deferred partial-cache entries).
+    def _dispatch(
+        self,
+        request: ServiceRequest,
+        start_time: float,
+        task_map: Optional[TaskMap] = None,
+    ) -> _PreparedRequest:
+        """The deterministic dispatch phase of one request.
 
-        The cache entry (signature, tuples, relation dependencies) is
-        ``None`` for result-cache hits; for fresh computations the caller
-        publishes it — and any per-shard partials a scatter-gather
-        execution produced — at the request's completion event so that
-        virtual-time causality holds (a result is visible only once it has
-        finished).  The plan cache, by contrast, is populated here at
-        dispatch time: compilation is not charged any virtual time, so plan
-        visibility has no causal ordering to violate.
+        Runs on the orchestrator thread, in dispatch order: backend choice
+        (which may consume rotation/router state), the result-cache lookup,
+        and the plan-cache lookup/compile for plan-aware engines.  The plan
+        cache is populated here at dispatch time: compilation is not
+        charged any virtual time, so plan visibility has no causal ordering
+        to violate.  The returned ``work`` closure (the engine execution
+        itself, or the scatter-gather fan-out) touches no ordered service
+        state and may run on any thread.
         """
         query = request.query
         signature = self.compiler.signature(query)
         backend = self._choose_backend(request)
+        prepared = _PreparedRequest(
+            request=request,
+            start_time=start_time,
+            signature=signature,
+            backend=backend,
+            work=None,
+        )
 
-        cache_entry = None
-        partial_entries: List = []
         cached = self.result_cache.get(signature)
-        plan_cache_hit = False
-        compiled = False
         scatter_spec = self.scatter.spec_for(query) if self.scatter is not None else None
         if cached is not None:
-            tuples = cached
-            service_time = RESULT_REPLAY_COST
-            result_cache_hit = True
-        elif scatter_spec is not None:
+            prepared.tuples = cached
+            prepared.result_cache_hit = True
+            return prepared
+        if scatter_spec is not None:
             # Sharded catalog: fan out through the scatter-gather executor
             # (which owns the rewritten plans and per-shard partial cache);
             # the service plan cache is bypassed, so no hit is credited.
-            # Fresh partials are collected here and published at completion.
-            result_cache_hit = False
-            execution = self.scatter.execute(
-                query, backend, spec=scatter_spec, collect_partials=partial_entries
-            )
-            tuples = execution.tuples
-            service_time = execution.cost
-            if execution.cacheable:
-                cache_entry = (signature, tuples, query.relation_names())
-        else:
-            result_cache_hit = False
-            if backend.plan_aware:
-                entry = self.plan_cache.get(signature)
-                if entry is None:
-                    _, canonical, plan = self.compiler.compile_canonical(query)
-                    self.plan_cache.put(signature, (canonical, plan))
-                    compiled = True
-                else:
-                    canonical, plan = entry
-                    plan_cache_hit = True
-                execution = backend.execute(canonical, self.database, plan=plan)
+            # Fresh partials are collected and published at completion.
+            prepared.cache_dependencies = query.relation_names()
+
+            def scatter_work() -> EngineExecution:
+                return self.scatter.execute(
+                    query,
+                    backend,
+                    spec=scatter_spec,
+                    collect_partials=prepared.partial_entries,
+                    task_map=task_map,
+                )
+
+            prepared.work = scatter_work
+            return prepared
+
+        prepared.cache_dependencies = query.relation_names()
+        if backend.plan_aware:
+            entry = self.plan_cache.get(signature)
+            if entry is None:
+                _, canonical, plan = self.compiler.compile_canonical(query)
+                self.plan_cache.put(signature, (canonical, plan))
+                prepared.compiled = True
             else:
-                # Plan-blind backends (naive, pairwise) plan internally; the
-                # plan cache neither helps nor counts for them.
-                execution = backend.execute(query, self.database)
+                canonical, plan = entry
+                prepared.plan_cache_hit = True
+            prepared.work = lambda: backend.execute(canonical, self.database, plan=plan)
+        else:
+            # Plan-blind backends (naive, pairwise) plan internally; the
+            # plan cache neither helps nor counts for them.
+            prepared.work = lambda: backend.execute(query, self.database)
+        return prepared
+
+    def _finalize(
+        self,
+        prepared: _PreparedRequest,
+        execution: Optional[EngineExecution],
+        wall_elapsed: Optional[float] = None,
+    ) -> _CompletedRequest:
+        """Turn a finished execution into its completion event payload."""
+        request = prepared.request
+        cache_entry = None
+        if execution is None:
+            tuples = prepared.tuples if prepared.tuples is not None else []
+            service_time = RESULT_REPLAY_COST
+            plan_cache_hit = False
+        else:
             tuples = execution.tuples
             service_time = execution.cost
             # A backend that ignored the plan it was handed must not be
             # credited with a plan-cache hit (see repro.api.engines:
             # EngineExecution.plan_used).
-            plan_cache_hit = plan_cache_hit and execution.plan_used
+            plan_cache_hit = prepared.plan_cache_hit and execution.plan_used
             if execution.cacheable:
-                cache_entry = (signature, tuples, query.relation_names())
-
+                cache_entry = (prepared.signature, tuples, prepared.cache_dependencies)
         record = QueryRecord(
             request_id=request.request_id,
-            query_name=query.name,
-            signature=signature,
-            backend=backend.name,
+            query_name=request.query.name,
+            signature=prepared.signature,
+            backend=prepared.backend.name,
             priority=request.priority,
             arrival_time=request.arrival_time,
-            start_time=start_time,
-            finish_time=start_time + service_time,
+            start_time=prepared.start_time,
+            finish_time=prepared.start_time + service_time,
             service_time=service_time,
             result_count=len(tuples),
-            result_cache_hit=result_cache_hit,
+            result_cache_hit=prepared.result_cache_hit,
             plan_cache_hit=plan_cache_hit,
-            compiled=compiled,
+            compiled=prepared.compiled,
+            wall_elapsed=wall_elapsed,
         )
-        return QueryOutcome(tuples, record), record, cache_entry, partial_entries
+        return _CompletedRequest(
+            request_id=request.request_id,
+            outcome=QueryOutcome(tuples, record),
+            record=record,
+            cache_entry=cache_entry,
+            partial_entries=prepared.partial_entries,
+        )
+
+    def _complete(self, completed: _CompletedRequest) -> None:
+        """Process one completion event: free the slot, publish, record.
+
+        Called by the execution backend's event loop in virtual-time
+        completion order — this is the only place freshly computed results
+        (and per-shard partials) become visible, preserving virtual-time
+        causality on every backend.
+        """
+        self.admission.release()
+        if completed.cache_entry is not None:
+            signature, tuples, relation_names = completed.cache_entry
+            self.result_cache.put_result(signature, tuples, relation_names)
+        if completed.partial_entries:
+            self.scatter.publish_partials(completed.partial_entries)
+        self.metrics.record(completed.record)
 
     # ------------------------------------------------------------------ #
     # Reporting

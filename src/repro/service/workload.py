@@ -249,6 +249,13 @@ def run_workload(
     inserted through the catalog — so invalidation hits the result caches
     mid-run exactly where the stream places the mutation, and queries after
     it observe the new data.
+
+    Generated arrival times restart at virtual time 0 for every stream, but
+    the service clock persists across drains; the driver therefore dates
+    each submission at ``max(generated arrival, service.clock)`` — the
+    stream's relative spacing within one drain is preserved and requests
+    after a mid-stream mutation simply "arrive now", without tripping the
+    service's back-dated-arrival policy.
     """
     outcomes: Dict[int, QueryOutcome] = {}
     pending = 0
@@ -262,7 +269,7 @@ def run_workload(
         service.submit(
             request.query,
             priority=request.priority,
-            arrival_time=request.arrival_time,
+            arrival_time=max(request.arrival_time, service.clock),
             backend=request.backend,
         )
         pending += 1

@@ -155,6 +155,35 @@ class TestCommands:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["workload", "--backends", "warp-drive"])
 
+    def test_workload_threaded_backend(self, capsys):
+        exit_code = main(
+            [
+                "workload",
+                "--dataset",
+                "grqc",
+                "--scale",
+                "0.005",
+                "--num-queries",
+                "30",
+                "--backend",
+                "threads",
+                "--workers",
+                "2",
+                "--seed",
+                "7",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "requests completed   : 30" in output
+        # The threaded backend measures host spans and reports them.
+        assert "host drain time" in output
+        assert "host execution" in output
+
+    def test_workload_rejects_unknown_execution_backend(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["workload", "--backend", "fibers"])
+
     def test_compare_command(self, capsys):
         exit_code = main(
             ["compare", "cycle3", "--dataset", "bitcoin", "--scale", "0.005"]

@@ -29,8 +29,10 @@ from repro.eval import (
     geometric_mean,
     group_by,
     normalise,
+    percentile,
     reduction,
     speedup,
+    summarise_latencies,
     summarise_ratios,
     table1,
     table2,
@@ -80,6 +82,37 @@ class TestMetrics:
         grouped = group_by(rows, "q")
         assert list(grouped) == ["a", "b"]
         assert len(grouped["a"]) == 2
+
+    def test_percentile_empty_series_degrades_to_zero(self):
+        assert percentile([], 50) == 0.0
+        assert percentile([], 0) == 0.0
+        assert percentile([], 100) == 0.0
+
+    def test_percentile_single_sample_is_that_sample(self):
+        for q in (0, 37, 50, 95, 100):
+            assert percentile([42.0], q) == 42.0
+
+    def test_percentile_interpolation_and_bounds(self):
+        values = [10.0, 20.0, 30.0, 40.0]
+        assert percentile(values, 0) == 10.0
+        assert percentile(values, 100) == 40.0
+        assert percentile(values, 50) == pytest.approx(25.0)
+        with pytest.raises(ValueError):
+            percentile(values, 101)
+        with pytest.raises(ValueError):
+            percentile(values, -1)
+
+    def test_summarise_latencies_empty_series(self):
+        summary = summarise_latencies([])
+        assert summary == {"count": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0, "max": 0.0}
+
+    def test_summarise_latencies_single_sample(self):
+        summary = summarise_latencies([7.5])
+        assert summary["count"] == 1
+        assert summary["mean"] == 7.5
+        assert summary["p50"] == 7.5
+        assert summary["p95"] == 7.5
+        assert summary["max"] == 7.5
 
 
 class TestReporting:
