@@ -36,6 +36,7 @@ class ExecutionOutcome:
     plan_cache_hit: bool = False
     compiled: bool = False
     scatter: Optional[object] = None
+    trace: Optional[object] = None  # finished repro.obs Span, when tracing
 
 
 class ResultSet:
@@ -125,6 +126,15 @@ class ResultSet:
         executions and cache replays.
         """
         return self._force().scatter
+
+    @property
+    def trace(self) -> Optional[object]:
+        """The finished :class:`repro.obs.Span` tree of this execution.
+
+        ``None`` unless the owning session was built with ``trace=...``;
+        forcing the ResultSet is what produces (and finishes) the trace.
+        """
+        return self._force().trace
 
     @property
     def cost(self) -> float:

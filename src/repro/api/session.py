@@ -31,6 +31,8 @@ from repro.api.routing import CostRouter, RouteDecision
 from repro.api.statement import Statement, coerce_statement
 from repro.joins.compiler import QueryCompiler
 from repro.joins.plan import JoinPlan
+from repro.obs.instrument import attach_scatter_legs, join_stats_attributes
+from repro.obs.trace import coerce_tracer
 from repro.relational.catalog import Database, MutationEvent
 from repro.relational.query import ConjunctiveQuery
 from repro.relational.sharding import ShardedDatabase, shard_database
@@ -100,6 +102,13 @@ class Session:
         :class:`~repro.service.backends.ExecutionBackend` instance.
     max_in_flight / max_queue_depth / seed:
         Admission-control knobs for :meth:`serve`.
+    trace:
+        ``True`` (or a ready :class:`repro.obs.Tracer`) records a span tree
+        for every execution — the synchronous :meth:`execute` path finishes
+        one trace per forced :class:`ResultSet` (surfaced as
+        ``ResultSet.trace``), and :meth:`serve` shares the same tracer with
+        the service layer, so one export covers both paths.  Default
+        ``None`` keeps the zero-overhead no-op tracer.
     """
 
     def __init__(
@@ -118,6 +127,7 @@ class Session:
         partitioner: str = "hash",
         concurrency: int = 1,
         execution_backend=None,
+        trace=None,
     ):
         if routing not in ("auto", "rotate"):
             raise ValueError(f"routing must be 'auto' or 'rotate', got {routing!r}")
@@ -142,6 +152,10 @@ class Session:
         self.seed = seed
         self.concurrency = concurrency
         self.execution_backend = execution_backend
+        self.tracer = coerce_tracer(trace)
+        # Virtual-time cursor of the synchronous execute() path: each forced
+        # execution occupies [cursor, cursor + cost] on the trace timeline.
+        self._trace_clock = 0.0
         self._service = None
         self._route_memo: Dict[Tuple[str, str], RouteDecision] = {}
         self._closed = False
@@ -314,7 +328,57 @@ class Session:
                 compiled=compiled,
             )
 
-        return ResultSet(query, signature, engine.name, run, route=decision)
+        if not self.tracer.enabled:
+            return ResultSet(query, signature, engine.name, run, route=decision)
+
+        def traced_run() -> ExecutionOutcome:
+            # The sync path has no event loop; executions occupy successive
+            # windows of the session's virtual-time cursor.  The trace is
+            # derived entirely from the outcome, so the run itself is
+            # untouched.
+            outcome = run()
+            start = self._trace_clock
+            finish = start + outcome.cost
+            root = self.tracer.begin(
+                "query",
+                start,
+                {
+                    "query": query.name,
+                    "signature": signature,
+                    "backend": engine.name,
+                    "source": "session",
+                },
+            )
+            root.child(
+                "route",
+                start,
+                {"backend": engine.name, "pinned": route not in (None, "auto")},
+            )
+            if outcome.from_cache:
+                root.event("result_cache_hit", start, signature=signature)
+            elif engine.plan_aware and outcome.scatter is None:
+                root.child(
+                    "plan_cache",
+                    start,
+                    {"hit": outcome.plan_cache_hit, "compiled": outcome.compiled},
+                )
+            execute = root.child("execute", start, {"backend": engine.name})
+            execute.end(finish)
+            execute.attributes["cost_ns"] = outcome.cost
+            execute.attributes["cardinality"] = (
+                len(outcome.tuples) if outcome.tuples else (outcome.count or 0)
+            )
+            if outcome.from_cache:
+                execute.attributes["result_cache_hit"] = True
+            execute.attributes.update(join_stats_attributes(outcome.stats))
+            if outcome.scatter is not None:
+                attach_scatter_legs(execute, outcome.scatter)
+            root.end(finish)
+            self._trace_clock = finish
+            outcome.trace = self.tracer.finish(root)
+            return outcome
+
+        return ResultSet(query, signature, engine.name, traced_run, route=decision)
 
     def explain(self, statement: object, route: str = "auto") -> Explanation:
         """Describe how ``statement`` would run: route, costs and plan.
@@ -374,6 +438,7 @@ class Session:
                 scatter=self._scatter,
                 backend=self.execution_backend,
                 workers=self.concurrency,
+                tracer=self.tracer,
             )
         return self._service
 

@@ -14,7 +14,12 @@ The CLI exposes the library's main entry points without writing any Python::
     python -m repro workload --dataset grqc --num-queries 200 --backends lftj ctj
     python -m repro workload --dataset grqc --route auto --backends ctj triejax
     python -m repro workload --dataset grqc --backend threads --workers 4
+    python -m repro workload --dataset grqc --trace out.jsonl --metrics out.prom
+    python -m repro run cycle3 --dataset grqc --trace out.json --trace-format chrome
+    python -m repro trace validate out.jsonl
+    python -m repro trace summarize out.jsonl --limit 10
     python -m repro bench kernels --output BENCH_kernels.json
+    python -m repro bench kernels --compare BENCH_kernels.json --run nightly
     python -m repro version
 
 ``run`` executes one pattern query on any engine in the shared registry
@@ -29,7 +34,13 @@ thread pool (``--backend threads --workers N``, same results with
 wall-clock numbers in the report) — and prints the service report
 (latencies, queue waits, cache hit rates); ``bench`` runs a microbenchmark suite (currently
 ``kernels``: trie build, LUB/gallop probes, per-engine enumeration) without
-pytest, honouring ``REPRO_BENCH_SEED``.
+pytest, honouring ``REPRO_BENCH_SEED``, optionally persisting a
+run-manifest artifact directory (``--run``) and diffing against the
+committed baseline (``--compare BENCH_kernels.json``, nonzero exit on
+regression); ``run`` and ``workload`` accept ``--trace out`` (JSONL or
+``--trace-format chrome`` for Perfetto) plus ``workload --metrics out.prom``
+for Prometheus-style exposition, and ``trace validate|summarize`` checks
+and analyses exported traces (see :mod:`repro.obs`).
 
 All engine names resolve through the single registry in
 :mod:`repro.api.engines`; the CLI keeps no private engine table.
@@ -103,6 +114,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument(
         "--show-results", type=int, default=0, metavar="N", help="print the first N result tuples"
+    )
+    run_parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="record a span trace of the execution and write it to PATH",
+    )
+    run_parser.add_argument(
+        "--trace-format", default="jsonl", choices=["jsonl", "chrome"],
+        help="trace file format: JSONL span lines, or Chrome trace-event "
+        "JSON loadable in chrome://tracing / Perfetto",
     )
 
     explain_parser = subparsers.add_parser(
@@ -229,6 +249,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--update-fraction", type=float, default=0.0, metavar="F",
         help="fraction of the stream that inserts edges (stresses invalidation)",
     )
+    workload_parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="record per-query span traces of the served stream to PATH",
+    )
+    workload_parser.add_argument(
+        "--trace-format", default="jsonl", choices=["jsonl", "chrome"],
+        help="trace file format: JSONL span lines, or Chrome trace-event "
+        "JSON loadable in chrome://tracing / Perfetto",
+    )
+    workload_parser.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="write Prometheus-style text exposition of the service metrics to PATH",
+    )
+
+    trace_parser = subparsers.add_parser(
+        "trace", help="validate or analyse an exported JSONL span trace"
+    )
+    trace_sub = trace_parser.add_subparsers(dest="trace_command", required=True)
+    validate_parser = trace_sub.add_parser(
+        "validate", help="check every line of a JSONL trace against the span schema"
+    )
+    validate_parser.add_argument("file", help="JSONL trace file (from --trace)")
+    summarize_parser = trace_sub.add_parser(
+        "summarize",
+        help="per-phase latency breakdown and per-query critical paths of a trace",
+    )
+    summarize_parser.add_argument("file", help="JSONL trace file (from --trace)")
+    summarize_parser.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="show only the N slowest queries' critical paths",
+    )
 
     bench_parser = subparsers.add_parser(
         "bench", help="run a microbenchmark suite without pytest"
@@ -254,6 +305,25 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser.add_argument(
         "--output", default=None, metavar="PATH",
         help="also write the JSON report to PATH",
+    )
+    bench_parser.add_argument(
+        "--compare", default=None, metavar="BASELINE",
+        help="diff the run against a committed baseline report "
+        "(e.g. BENCH_kernels.json); exits nonzero on a regression beyond "
+        "the threshold or a missing kernel",
+    )
+    bench_parser.add_argument(
+        "--threshold", type=float, default=None, metavar="FRACTION",
+        help="allowed slowdown before --compare fails (default 0.25 = 25%%)",
+    )
+    bench_parser.add_argument(
+        "--run", default=None, metavar="NAME",
+        help="persist the run as <results-root>/NAME/ with manifest.json, "
+        "metrics.jsonl and summary.json",
+    )
+    bench_parser.add_argument(
+        "--results-root", default=None, metavar="DIR",
+        help="artifact root for --run (default eval/results)",
     )
 
     return parser
@@ -323,6 +393,7 @@ def _cmd_run(args) -> int:
         engines=_session_engines(args),
         shards=args.shards,
         partitioner=args.partitioner,
+        trace=bool(args.trace),
     )
     if session.num_shards > 1:
         print(session.database.describe())
@@ -346,6 +417,11 @@ def _cmd_run(args) -> int:
     if args.show_results > 0:
         for row in result.to_list()[: args.show_results]:
             print("  " + ", ".join(str(v) for v in row))
+    if args.trace:
+        from repro.obs import write_trace
+
+        count = write_trace(session.tracer, args.trace, args.trace_format)
+        print(f"wrote {count} {args.trace_format} trace record(s) to {args.trace}")
     return 0
 
 
@@ -427,6 +503,7 @@ def _cmd_workload(args) -> int:
         partitioner=args.partitioner,
         execution_backend=args.backend,
         concurrency=args.workers if args.backend == "threads" else 1,
+        trace=bool(args.trace),
     )
     if session.num_shards > 1:
         print(session.database.describe())
@@ -453,11 +530,51 @@ def _cmd_workload(args) -> int:
     if session.service.rejected_requests:
         print(f"rejected {len(session.service.rejected_requests)} requests (bounded queue)")
     print(session.report())
+    if args.trace:
+        from repro.obs import write_trace
+
+        count = write_trace(session.tracer, args.trace, args.trace_format)
+        print(f"wrote {count} {args.trace_format} trace record(s) to {args.trace}")
+    if args.metrics:
+        from repro.obs import service_registry
+
+        with open(args.metrics, "w", encoding="utf-8") as handle:
+            handle.write(service_registry(session.service).render())
+        print(f"wrote metrics exposition to {args.metrics}")
     session.close()  # joins the execution backend's worker pools
     return 0
 
 
+def _cmd_trace(args) -> int:
+    from repro.obs import SCHEMA_VERSION, read_jsonl, summarize_trace, validate_jsonl
+
+    if args.trace_command == "validate":
+        errors = validate_jsonl(args.file)
+        if errors:
+            for error in errors[:50]:
+                print(error, file=sys.stderr)
+            if len(errors) > 50:
+                print(f"... and {len(errors) - 50} more", file=sys.stderr)
+            print(
+                f"FAIL: {len(errors)} schema problem(s) in {args.file}", file=sys.stderr
+            )
+            return 1
+        spans = read_jsonl(args.file)
+        print(f"OK: {len(spans)} span(s) valid against schema {SCHEMA_VERSION}")
+        return 0
+    print(summarize_trace(args.file, limit=args.limit))
+    return 0
+
+
 def _cmd_bench(args) -> int:
+    from repro.eval.artifacts import (
+        DEFAULT_REGRESSION_THRESHOLD,
+        DEFAULT_RESULTS_ROOT,
+        compare_kernel_reports,
+        format_comparison,
+        load_report,
+        write_run_artifacts,
+    )
     from repro.eval.kernels import (
         format_kernel_report,
         run_kernel_benchmarks,
@@ -471,6 +588,14 @@ def _cmd_bench(args) -> int:
     if args.output:
         write_kernel_report(report, args.output)
         print(f"wrote {args.output}")
+    if args.run:
+        run_dir = write_run_artifacts(
+            args.run,
+            report,
+            results_root=args.results_root or DEFAULT_RESULTS_ROOT,
+            extra_manifest={"cli": {"suite": args.suite, "smoke": args.smoke}},
+        )
+        print(f"wrote run artifacts to {run_dir}")
     checks = report["checks"]
     if not checks["engines_agree"]:
         print("FAIL: engines disagree on result cardinalities", file=sys.stderr)
@@ -478,6 +603,20 @@ def _cmd_bench(args) -> int:
     if not checks["gallop_probes_leq_binary"]:
         print("FAIL: galloping performed more probes than binary search", file=sys.stderr)
         return 1
+    if args.compare:
+        threshold = (
+            args.threshold if args.threshold is not None else DEFAULT_REGRESSION_THRESHOLD
+        )
+        comparison = compare_kernel_reports(
+            report, load_report(args.compare), threshold=threshold
+        )
+        print(format_comparison(comparison))
+        if not comparison["ok"]:
+            print(
+                f"FAIL: kernel benchmarks regressed against {args.compare}",
+                file=sys.stderr,
+            )
+            return 1
     return 0
 
 
@@ -506,6 +645,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_compare(args)
     if args.command == "workload":
         return _cmd_workload(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "bench":
         return _cmd_bench(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover

@@ -32,6 +32,15 @@ from repro.eval.harness import (
     DEFAULT_EVAL_SCALE,
     ExperimentContext,
 )
+from repro.eval.artifacts import (
+    DEFAULT_REGRESSION_THRESHOLD,
+    DEFAULT_RESULTS_ROOT,
+    compare_kernel_reports,
+    format_comparison,
+    kernel_metrics_rows,
+    load_report,
+    write_run_artifacts,
+)
 from repro.eval.kernels import (
     format_kernel_report,
     run_kernel_benchmarks,
@@ -74,8 +83,15 @@ __all__ = [
     "indent",
     "BASELINE_ORDER",
     "DEFAULT_EVAL_SCALE",
+    "DEFAULT_REGRESSION_THRESHOLD",
+    "DEFAULT_RESULTS_ROOT",
     "ExperimentContext",
+    "compare_kernel_reports",
+    "format_comparison",
     "format_kernel_report",
+    "kernel_metrics_rows",
+    "load_report",
+    "write_run_artifacts",
     "run_kernel_benchmarks",
     "write_kernel_report",
     "ENERGY_COMPONENTS",

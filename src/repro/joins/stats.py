@@ -94,6 +94,28 @@ class JoinStats:
             merged.record_match(variable, count)
         return merged
 
+    #: Counters projected onto trace spans (the high-signal subset; the
+    #: per-variable breakdown stays off spans to keep trace lines compact).
+    TRACE_KEYS = (
+        "output_tuples",
+        "bindings_enumerated",
+        "intermediate_results",
+        "lub_searches",
+        "index_element_reads",
+        "index_element_writes",
+        "cache_lookups",
+        "cache_hits",
+    )
+
+    def trace_attributes(self, prefix: str = "stats.") -> Dict[str, int]:
+        """Span-attribute projection used by the observability layer.
+
+        Returns the :data:`TRACE_KEYS` counters keyed ``<prefix><counter>``,
+        the form :mod:`repro.obs` attaches to ``execute`` spans.
+        """
+        full = self.as_dict()
+        return {f"{prefix}{key}": full[key] for key in self.TRACE_KEYS}
+
     def as_dict(self) -> Dict[str, int]:
         """Flat dictionary form used by the reporting layer."""
         return {

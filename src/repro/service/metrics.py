@@ -103,21 +103,41 @@ class ServiceMetrics:
     def queue_wait_summary(self) -> Dict[str, float]:
         return summarise_latencies([r.queue_wait for r in self.records])
 
+    @property
+    def measured_executions(self) -> int:
+        """Records carrying a measured host wall-clock span.
+
+        Zero for pure virtual runs: the virtual backend never measures, and
+        cache hits run no engine on any backend.
+        """
+        return sum(1 for r in self.records if r.wall_elapsed is not None)
+
     def wall_execution_summary(self) -> Dict[str, float]:
         """Host wall-clock spans of measured engine work (seconds).
 
         Only records with a measured ``wall_elapsed`` contribute (the
         threaded backend measures; the virtual backend and cache hits do
-        not), so the summary ``count`` may be below :attr:`completed` —
-        that is the honest number of measured executions, not a bug.
+        not), so the summary ``count`` equals :attr:`measured_executions`
+        and may be below :attr:`completed` — that is the honest number of
+        measured executions, not a bug.  A pure virtual run yields the
+        well-defined zero summary ``{"count": 0, "mean": 0.0, "p50": 0.0,
+        "p95": 0.0, "max": 0.0}``; this never raises.
         """
         return summarise_latencies(
             [r.wall_elapsed for r in self.records if r.wall_elapsed is not None]
         )
 
     def wall_throughput(self) -> float:
-        """Completed requests per host second spent draining (0 if unmeasured)."""
-        if self.wall_drain_seconds <= 0:
+        """Completed requests per host second spent inside :meth:`drain`.
+
+        Defined as ``completed / wall_drain_seconds`` — the denominator is
+        the *drain* wall time, which every backend accumulates (virtual
+        included), so this is a host-throughput figure even for virtual
+        runs.  Returns exactly ``0.0`` when no drain time was accumulated
+        (a service that never drained) or nothing completed; never raises
+        ``ZeroDivisionError``.
+        """
+        if self.wall_drain_seconds <= 0 or not self.records:
             return 0.0
         return self.completed / self.wall_drain_seconds
 

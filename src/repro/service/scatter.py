@@ -40,6 +40,7 @@ cache counters, aggregated stats) is identical to the serial fan-out.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -62,13 +63,21 @@ PARTIAL_REPLAY_COST_NS = 1.0
 
 @dataclass(frozen=True)
 class ShardTaskStats:
-    """What one shard contributed to a scatter-gather execution."""
+    """What one shard contributed to a scatter-gather execution.
+
+    ``wall_seconds`` is the host wall-clock span of the shard's engine
+    execution, measured only when the fan-out ran on a concurrent
+    ``task_map`` (``None`` for the serial fan-out and for cache replays) —
+    virtual runs stay free of host timings so their traces are
+    byte-reproducible.
+    """
 
     shard: int
     tuples: int
     cost_ns: float
     from_cache: bool
     fragment_cardinality: int
+    wall_seconds: Optional[float] = None
 
 
 @dataclass(frozen=True)
@@ -283,8 +292,17 @@ class ScatterGatherExecutor:
                 return engine.execute(spec.query, view, plan=plan)
             return engine.execute(spec.query, view)
 
+        wall_times: Dict[int, float] = {}
         if task_map is not None:
-            executions = dict(zip(to_compute, task_map(run_shard, to_compute)))
+            # Per-shard host spans: distinct keys per worker, so the dict
+            # writes cannot collide; the serial fan-out records none.
+            def timed_run(shard: int) -> EngineExecution:
+                wall_start = time.perf_counter()
+                execution = run_shard(shard)
+                wall_times[shard] = time.perf_counter() - wall_start
+                return execution
+
+            executions = dict(zip(to_compute, task_map(timed_run, to_compute)))
         else:
             executions = {shard: run_shard(shard) for shard in to_compute}
 
@@ -315,7 +333,12 @@ class ScatterGatherExecutor:
                     self.partial_cache.put_result(*entry)
             tasks.append(
                 ShardTaskStats(
-                    shard, execution.cardinality, execution.cost, False, fragment_size
+                    shard,
+                    execution.cardinality,
+                    execution.cost,
+                    False,
+                    fragment_size,
+                    wall_seconds=wall_times.get(shard),
                 )
             )
             partials.append(execution.tuples)

@@ -52,6 +52,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 from repro.api.engines import EngineExecution, EngineProtocol
 from repro.api.engines import create_engine as create_backend
 from repro.joins.compiler import QueryCompiler
+from repro.obs.instrument import annotate_execute_span
+from repro.obs.trace import Span, Tracer, coerce_tracer
 from repro.relational.catalog import Database
 from repro.relational.query import ConjunctiveQuery
 from repro.relational.sharding import ShardedDatabase
@@ -76,6 +78,13 @@ class BackdatedArrivalWarning(UserWarning):
     literal arrival time suggested.  Construct the service with
     ``backdated_arrivals="raise"`` to have :meth:`QueryService.submit`
     reject such submissions instead.
+
+    Re-exported as :class:`repro.service.BackdatedArrivalWarning` — it is
+    part of the public submit surface.  The governing **arrival-order
+    contract** is documented on
+    :meth:`repro.service.backends.ExecutionBackend.drain`: arrivals are
+    processed in ``(arrival_time, request_id)`` order and completions in
+    ``(finish_time, dispatch_sequence)`` order, on every execution backend.
     """
 
 
@@ -125,6 +134,7 @@ class _PreparedRequest:
     compiled: bool = False
     cache_dependencies: Optional[Tuple[str, ...]] = None
     partial_entries: List = field(default_factory=list)
+    trace: Optional[Span] = None  # root span of the request's trace, if tracing
 
 
 @dataclass
@@ -136,6 +146,7 @@ class _CompletedRequest:
     record: QueryRecord
     cache_entry: Optional[Tuple[str, List[Tuple[int, ...]], Tuple[str, ...]]]
     partial_entries: List
+    trace: Optional[Span] = None
 
 
 class QueryService:
@@ -182,6 +193,14 @@ class QueryService:
     max_in_flight / max_queue_depth / seed:
         Admission-control knobs (see
         :class:`~repro.service.admission.AdmissionController`).
+    tracer:
+        A :class:`repro.obs.Tracer` (or ``True`` for a fresh one) records a
+        hierarchical span tree per request — admission wait, routing, plan
+        probe, engine execution with scatter legs — with deterministic ids
+        (traces finish in virtual-time completion order, identical on every
+        execution backend).  Default ``None`` is the no-op tracer: every
+        instrumentation site is guarded on ``tracer.enabled``, so the off
+        cost is a couple of attribute reads per request.
     """
 
     def __init__(
@@ -201,6 +220,7 @@ class QueryService:
         backend: Union[str, ExecutionBackend, None] = None,
         workers: Optional[int] = None,
         backdated_arrivals: str = "warn",
+        tracer: Union[Tracer, bool, None] = None,
     ):
         if not backends:
             raise ValueError("QueryService needs at least one backend")
@@ -223,6 +243,7 @@ class QueryService:
             max_in_flight=max_in_flight, max_queue_depth=max_queue_depth, seed=seed
         )
         self.metrics = ServiceMetrics()
+        self.tracer = coerce_tracer(tracer)
         self.execution_backend = create_execution_backend(backend, workers)
         self.backdated_arrivals = backdated_arrivals
         self._pending: List[ServiceRequest] = []
@@ -368,8 +389,34 @@ class QueryService:
     # Catalog mutation
     # ------------------------------------------------------------------ #
     def insert_tuples(self, relation_name: str, rows) -> int:
-        """Mutate the catalog through the service; dependent results drop."""
-        return self.database.insert_into(relation_name, rows)
+        """Mutate the catalog through the service; dependent results drop.
+
+        With tracing on, the mutation (and the cache invalidations it
+        triggered) is recorded as a process-level event span on the
+        :data:`~repro.obs.trace.PROCESS_TRACE_ID` lane, stamped at the
+        persisted virtual clock.
+        """
+        if not self.tracer.enabled:
+            return self.database.insert_into(relation_name, rows)
+        results_before = self.result_cache.stats.invalidations
+        partial_cache = (
+            self.scatter.partial_cache if self.scatter is not None else None
+        )
+        partials_before = partial_cache.stats.invalidations if partial_cache else 0
+        inserted = self.database.insert_into(relation_name, rows)
+        partials_after = partial_cache.stats.invalidations if partial_cache else 0
+        self.tracer.emit(
+            "catalog_mutation",
+            self._clock,
+            {
+                "relation": relation_name,
+                "rows_inserted": inserted,
+                "invalidated_results": self.result_cache.stats.invalidations
+                - results_before,
+                "invalidated_partials": partials_after - partials_before,
+            },
+        )
+        return inserted
 
     # ------------------------------------------------------------------ #
     # Execution of one request
@@ -411,12 +458,45 @@ class QueryService:
             backend=backend,
             work=None,
         )
+        if self.tracer.enabled:
+            # Span skeleton, built on the orchestrator thread in dispatch
+            # order.  No ids yet — Tracer.finish assigns them at the
+            # request's completion event (see _complete), so ids/ordering
+            # are identical on every execution backend.
+            root = self.tracer.begin(
+                "query",
+                request.arrival_time,
+                {
+                    "request_id": request.request_id,
+                    "query": query.name,
+                    "signature": signature,
+                    "priority": request.priority,
+                    "backend": backend.name,
+                },
+            )
+            root.child(
+                "admission",
+                request.arrival_time,
+                {"queue_wait_ns": start_time - request.arrival_time},
+            ).end(start_time)
+            root.child(
+                "route",
+                start_time,
+                {
+                    "backend": backend.name,
+                    "pinned": request.backend is not None,
+                    "routed": request.backend is None and self.router is not None,
+                },
+            )
+            prepared.trace = root
 
         cached = self.result_cache.get(signature)
         scatter_spec = self.scatter.spec_for(query) if self.scatter is not None else None
         if cached is not None:
             prepared.tuples = cached
             prepared.result_cache_hit = True
+            if prepared.trace is not None:
+                prepared.trace.event("result_cache_hit", start_time, signature=signature)
             return prepared
         if scatter_spec is not None:
             # Sharded catalog: fan out through the scatter-gather executor
@@ -447,6 +527,14 @@ class QueryService:
             else:
                 canonical, plan = entry
                 prepared.plan_cache_hit = True
+            if prepared.trace is not None:
+                # Plan work is charged no virtual time; the probe/compile
+                # outcome lands as an instantaneous span at dispatch.
+                prepared.trace.child(
+                    "plan_cache",
+                    start_time,
+                    {"hit": prepared.plan_cache_hit, "compiled": prepared.compiled},
+                )
             prepared.work = lambda: backend.execute(canonical, self.database, plan=plan)
         else:
             # Plan-blind backends (naive, pairwise) plan internally; the
@@ -492,12 +580,27 @@ class QueryService:
             compiled=prepared.compiled,
             wall_elapsed=wall_elapsed,
         )
+        if prepared.trace is not None:
+            execute = prepared.trace.child(
+                "execute", prepared.start_time, {"backend": prepared.backend.name}
+            )
+            execute.end(record.finish_time)
+            if execution is None:
+                execute.attributes["result_cache_hit"] = True
+                execute.attributes["cost_ns"] = service_time
+                execute.attributes["cardinality"] = len(tuples)
+            else:
+                annotate_execute_span(execute, execution)
+            if wall_elapsed is not None:
+                execute.wall_elapsed_s = wall_elapsed
+            prepared.trace.end(record.finish_time)
         return _CompletedRequest(
             request_id=request.request_id,
             outcome=QueryOutcome(tuples, record),
             record=record,
             cache_entry=cache_entry,
             partial_entries=prepared.partial_entries,
+            trace=prepared.trace,
         )
 
     def _complete(self, completed: _CompletedRequest) -> None:
@@ -514,6 +617,11 @@ class QueryService:
             self.result_cache.put_result(signature, tuples, relation_names)
         if completed.partial_entries:
             self.scatter.publish_partials(completed.partial_entries)
+        if completed.trace is not None:
+            # Traces seal in completion order — the deterministic order both
+            # execution backends share — so span ids never depend on host
+            # scheduling.
+            self.tracer.finish(completed.trace)
         self.metrics.record(completed.record)
 
     # ------------------------------------------------------------------ #

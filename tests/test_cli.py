@@ -191,3 +191,76 @@ class TestCommands:
         assert exit_code == 0
         output = capsys.readouterr().out
         assert "triejax" in output and "q100" in output and "ctj" in output
+
+
+class TestTraceCommands:
+    def _workload_args(self, *extra):
+        return [
+            "workload", "--dataset", "grqc", "--scale", "0.005",
+            "--num-queries", "20", "--seed", "7", *extra,
+        ]
+
+    def test_workload_trace_and_metrics(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        prom = tmp_path / "metrics.prom"
+        exit_code = main(
+            self._workload_args("--trace", str(trace), "--metrics", str(prom))
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "jsonl trace record(s)" in output
+        assert "metrics exposition" in output
+        from repro.obs import validate_jsonl
+
+        assert validate_jsonl(str(trace)) == []
+        exposition = prom.read_text()
+        assert "# TYPE repro_requests_total counter" in exposition
+        assert "repro_query_latency_virtual_ns_bucket" in exposition
+
+    def test_run_trace_chrome_format(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "trace.json"
+        exit_code = main(
+            ["run", "cycle3", "--dataset", "grqc", "--scale", "0.01",
+             "--engine", "lftj", "--trace", str(path), "--trace-format", "chrome"]
+        )
+        assert exit_code == 0
+        assert "chrome trace record(s)" in capsys.readouterr().out
+        document = json.loads(path.read_text())
+        phases = {event["ph"] for event in document["traceEvents"]}
+        assert "X" in phases  # complete spans present
+
+    def test_trace_validate_ok(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        assert main(self._workload_args("--trace", str(trace))) == 0
+        capsys.readouterr()
+        assert main(["trace", "validate", str(trace)]) == 0
+        assert "OK:" in capsys.readouterr().out
+
+    def test_trace_validate_rejects_corrupt_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"schema": 99}\nnot json at all\n')
+        assert main(["trace", "validate", str(bad)]) == 1
+        captured = capsys.readouterr()
+        assert "line 1" in captured.err
+        assert "FAIL" in captured.err
+
+    def test_trace_summarize(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        assert main(self._workload_args("--trace", str(trace))) == 0
+        capsys.readouterr()
+        assert main(["trace", "summarize", str(trace), "--limit", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "per-phase virtual-time breakdown" in output
+        assert "critical path" in output
+
+    def test_trace_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace"])
+
+    def test_trace_format_restricted(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "cycle3", "--trace", "x", "--trace-format", "xml"]
+            )

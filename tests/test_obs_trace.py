@@ -1,0 +1,258 @@
+"""Unit tests of the observability primitives: spans, tracer, exporters,
+schema validation, summarization and the metrics registry."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    NULL_TRACER,
+    PROCESS_TRACE_ID,
+    SCHEMA_VERSION,
+    MetricsRegistry,
+    NullTracer,
+    Tracer,
+    build_trace_trees,
+    chrome_trace_events,
+    coerce_tracer,
+    critical_path,
+    phase_breakdown,
+    query_roots,
+    read_jsonl,
+    span_to_dict,
+    validate_jsonl,
+    validate_span_dict,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+
+def _sample_tracer() -> Tracer:
+    """Two query traces plus one process event, built by hand."""
+    tracer = Tracer()
+    for start in (0.0, 500.0):
+        root = tracer.begin("query", start, {"query": "q"})
+        root.child("admission", start).end(start + 10)
+        execute = root.child("execute", start + 10)
+        execute.event("result_cache_hit", start + 10, signature="s")
+        execute.end(start + 100)
+        root.end(start + 100)
+        tracer.finish(root)
+    tracer.emit("catalog_mutation", 600.0, {"relation": "E"})
+    return tracer
+
+
+class TestSpan:
+    def test_child_and_walk_preorder(self):
+        root = Tracer().begin("query", 0.0)
+        a = root.child("a", 0.0)
+        a.child("a1", 0.0)
+        root.child("b", 0.0)
+        assert [s.name for s in root.walk()] == ["query", "a", "a1", "b"]
+
+    def test_find_returns_first_preorder_match(self):
+        root = Tracer().begin("query", 0.0)
+        first = root.child("execute", 1.0)
+        root.child("execute", 2.0)
+        assert root.find("execute") is first
+        assert root.find("absent") is None
+
+    def test_end_before_start_rejected(self):
+        span = Tracer().begin("query", 100.0)
+        with pytest.raises(ValueError):
+            span.end(50.0)
+
+    def test_duration_defaults_to_instant(self):
+        span = Tracer().begin("route", 42.0)
+        assert span.duration_ns == 0.0
+
+
+class TestTracer:
+    def test_finish_assigns_preorder_ids_and_parentage(self):
+        tracer = Tracer()
+        root = tracer.begin("query", 0.0)
+        a = root.child("a", 0.0)
+        a1 = a.child("a1", 0.0)
+        b = root.child("b", 0.0)
+        tracer.finish(root)
+        assert (root.span_id, a.span_id, a1.span_id, b.span_id) == (1, 2, 3, 4)
+        assert root.parent_id is None
+        assert (a.parent_id, a1.parent_id, b.parent_id) == (1, 2, 1)
+        assert all(s.trace_id == 0 for s in root.walk())
+
+    def test_trace_ids_sequential_per_finish(self):
+        tracer = _sample_tracer()
+        assert [root.trace_id for root in tracer.spans] == [0, 1, PROCESS_TRACE_ID]
+
+    def test_emit_lands_on_process_lane(self):
+        tracer = Tracer()
+        span = tracer.emit("catalog_mutation", 5.0, {"relation": "E"})
+        assert span.trace_id == PROCESS_TRACE_ID
+        assert span.span_id == 1
+        assert len(tracer) == 1
+
+    def test_clear_resets_ids(self):
+        tracer = _sample_tracer()
+        tracer.clear()
+        assert len(tracer) == 0
+        root = tracer.finish(tracer.begin("query", 0.0))
+        assert (root.trace_id, root.span_id) == (0, 1)
+
+    def test_null_tracer_records_nothing(self):
+        tracer = NullTracer()
+        assert not tracer.enabled
+        tracer.finish(tracer.begin("query", 0.0))
+        tracer.emit("catalog_mutation", 0.0)
+        assert len(tracer) == 0
+
+    def test_coerce_tracer(self):
+        tracer = Tracer()
+        assert coerce_tracer(tracer) is tracer
+        assert coerce_tracer(None) is NULL_TRACER
+        assert coerce_tracer(False) is NULL_TRACER
+        fresh = coerce_tracer(True)
+        assert isinstance(fresh, Tracer) and fresh.enabled
+        with pytest.raises(TypeError):
+            coerce_tracer("yes")
+
+
+class TestJsonlExport:
+    def test_roundtrip_and_schema(self, tmp_path):
+        tracer = _sample_tracer()
+        path = str(tmp_path / "trace.jsonl")
+        count = write_jsonl(tracer, path)
+        spans = read_jsonl(path)
+        assert count == len(spans) == len(tracer.all_spans())
+        assert all(span["schema"] == SCHEMA_VERSION for span in spans)
+        assert validate_jsonl(path) == []
+
+    def test_wall_field_omitted_when_unmeasured(self):
+        tracer = Tracer()
+        root = tracer.begin("query", 0.0)
+        child = root.child("execute", 0.0).end(10.0)
+        child.wall_elapsed_s = 0.004
+        tracer.finish(root)
+        root_dict, child_dict = (span_to_dict(s) for s in root.walk())
+        assert "wall_elapsed_s" not in root_dict
+        assert child_dict["wall_elapsed_s"] == 0.004
+
+    def test_byte_determinism_of_serialisation(self, tmp_path):
+        paths = []
+        for name in ("a.jsonl", "b.jsonl"):
+            path = tmp_path / name
+            write_jsonl(_sample_tracer(), str(path))
+            paths.append(path.read_bytes())
+        assert paths[0] == paths[1]
+
+    def test_validate_flags_bad_lines(self, tmp_path):
+        good = span_to_dict(next(iter(_sample_tracer().all_spans())))
+        bad_cases = [
+            {**good, "schema": 99},
+            {**good, "span_id": 0},
+            {**good, "start_ns": 10.0, "end_ns": 5.0},
+            {**good, "surprise": 1},
+            {key: value for key, value in good.items() if key != "name"},
+            {**good, "wall_elapsed_s": "fast"},
+            {**good, "events": [{"name": 3, "t_ns": "now"}]},
+        ]
+        for case in bad_cases:
+            assert validate_span_dict(case), f"expected errors for {case}"
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps(good) + "\nnot json\n")
+        errors = validate_jsonl(str(path))
+        assert errors and errors[0].startswith("line 2:")
+
+    def test_bool_does_not_pass_as_number(self):
+        good = span_to_dict(next(iter(_sample_tracer().all_spans())))
+        assert validate_span_dict({**good, "start_ns": True})
+        assert validate_span_dict({**good, "trace_id": True})
+
+
+class TestChromeExport:
+    def test_event_structure(self, tmp_path):
+        tracer = _sample_tracer()
+        events = chrome_trace_events(tracer)
+        phases = {event["ph"] for event in events}
+        assert phases == {"M", "X", "i"}
+        complete = [e for e in events if e["ph"] == "X"]
+        assert len(complete) == len(tracer.all_spans())
+        # Virtual ns map onto the microsecond ts axis.
+        root = complete[0]
+        assert root["ts"] == 0.0 and root["dur"] == pytest.approx(0.1)
+        lanes = {e["tid"] for e in events}
+        assert {0, 1, PROCESS_TRACE_ID} <= lanes
+
+        path = str(tmp_path / "trace.json")
+        count = write_chrome_trace(tracer, path)
+        document = json.loads(open(path).read())
+        assert len(document["traceEvents"]) == count
+        assert document["otherData"]["schema"] == SCHEMA_VERSION
+
+
+class TestSummarize:
+    def test_tree_rebuild_and_breakdown(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        write_jsonl(_sample_tracer(), path)
+        roots = build_trace_trees(read_jsonl(path))
+        assert len(roots) == 3  # two queries + process event
+        queries = query_roots(roots)
+        assert len(queries) == 2
+        breakdown = phase_breakdown(queries)
+        assert breakdown["query"]["count"] == 2
+        assert breakdown["execute"]["mean"] == pytest.approx(90.0)
+
+    def test_critical_path_picks_dominant_child(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        write_jsonl(_sample_tracer(), path)
+        roots = query_roots(build_trace_trees(read_jsonl(path)))
+        names = [node.name for node in critical_path(roots[0])]
+        assert names == ["query", "execute"]
+
+
+class TestMetricsRegistry:
+    def test_counter_gauge_histogram_exposition(self):
+        registry = MetricsRegistry(namespace="t")
+        requests = registry.counter("requests_total", "Requests.", labels=("backend",))
+        requests.labels(backend="lftj").inc()
+        requests.labels(backend="ctj").inc(2)
+        depth = registry.gauge("depth", "Queue depth.")
+        depth.set(3)
+        latency = registry.histogram("latency_ns", "Latency.", buckets=(10.0, 100.0))
+        for value in (5, 50, 500):
+            latency.observe(value)
+        text = registry.render()
+        assert "# HELP t_requests_total Requests." in text
+        assert "# TYPE t_requests_total counter" in text
+        assert 't_requests_total{backend="ctj"} 2' in text
+        assert "t_depth 3" in text
+        assert 't_latency_ns_bucket{le="10"} 1' in text
+        assert 't_latency_ns_bucket{le="+Inf"} 3' in text
+        assert "t_latency_ns_sum 555" in text
+        assert "t_latency_ns_count 3" in text
+
+    def test_label_sets_render_sorted_and_deterministic(self):
+        def build(order):
+            registry = MetricsRegistry(namespace="t")
+            counter = registry.counter("ops_total", "Ops.", labels=("op",))
+            for op in order:
+                counter.labels(op=op).inc()
+            return registry.render()
+
+        assert build(["b", "a", "c"]) == build(["c", "b", "a"])
+
+    def test_counter_rejects_negative(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("bad_total").inc(-1)
+
+    def test_conflicting_registration_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", labels=("a",))
+        with pytest.raises(ValueError):
+            registry.gauge("x_total")
+        with pytest.raises(ValueError):
+            registry.counter("x_total", labels=("b",))
+        # Same type + labels returns the existing family.
+        assert registry.counter("x_total", labels=("a",)) is registry.counter(
+            "x_total", labels=("a",)
+        )

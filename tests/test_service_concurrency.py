@@ -508,3 +508,51 @@ class TestWallClockMetrics:
             metrics.record(_record(request_id))
         assert metrics.wall_throughput() == pytest.approx(2.0)
         assert ServiceMetrics().wall_throughput() == 0.0
+
+    def test_wall_summary_empty_contract(self):
+        """No records at all -> the documented all-zero summary, no raise."""
+        empty = ServiceMetrics().wall_execution_summary()
+        assert empty == {"count": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0, "max": 0.0}
+
+    def test_wall_summary_all_unmeasured_is_zero(self):
+        """Virtual-only records (wall_elapsed=None) count as unmeasured."""
+        metrics = ServiceMetrics()
+        for request_id in range(3):
+            metrics.record(_record(request_id))
+        summary = metrics.wall_execution_summary()
+        assert summary["count"] == 0
+        assert summary["mean"] == 0.0 and summary["max"] == 0.0
+
+    def test_measured_executions_property(self):
+        metrics = ServiceMetrics()
+        assert metrics.measured_executions == 0
+        metrics.record(_record(0))
+        metrics.record(_record(1, wall_elapsed=0.1))
+        metrics.record(_record(2, wall_elapsed=0.0))  # zero is still measured
+        assert metrics.measured_executions == 2
+
+    def test_wall_throughput_degenerate_denominators(self):
+        # Records but no wall drain time (pure virtual run): no rate claim.
+        virtual_only = ServiceMetrics()
+        virtual_only.record(_record(0))
+        assert virtual_only.wall_throughput() == 0.0
+        # Wall drain time but nothing completed: zero, not a division.
+        idle = ServiceMetrics(wall_drain_seconds=3.0)
+        assert idle.wall_throughput() == 0.0
+
+
+class TestBackdatedWarningExport:
+    def test_exported_from_service_package(self):
+        """The warning is importable from the package root (stable surface)."""
+        import repro.service
+        from repro.service.service import BackdatedArrivalWarning as defining
+
+        assert repro.service.BackdatedArrivalWarning is defining
+        assert BackdatedArrivalWarning is defining
+        assert "BackdatedArrivalWarning" in repro.service.__all__
+
+    def test_docstring_states_arrival_order_contract(self):
+        assert issubclass(BackdatedArrivalWarning, UserWarning)
+        doc = BackdatedArrivalWarning.__doc__
+        assert "(arrival_time, request_id)" in doc
+        assert "repro.service" in doc  # names its re-export home
