@@ -1,0 +1,104 @@
+"""Benchmarks of the durable tier: cold start, snapshots, WAL replay.
+
+These measure the costs :mod:`repro.storage` was built around: how fast a
+recovered process becomes query-ready (``mmap`` segment adoption versus trie
+rebuild), what a snapshot costs, and what replaying a mutation log costs on
+recovery.  The same measurements are exposed without pytest via
+``repro bench storage`` (:mod:`repro.eval.storagebench`), whose committed
+JSON report, ``BENCH_storage.json``, is the storage-tier baseline.
+"""
+
+import os
+
+import pytest
+
+from repro.eval.storagebench import _trie_orders, run_storage_benchmarks
+from repro.graphs import graph_database, load_dataset
+from repro.relational import Relation, TrieIndex
+from repro.storage import TrieSegmentStore, open_store, read_trie_segment
+from repro.storage.durable import SEGMENTS_DIRNAME
+
+#: Dataset scale knob shared with the rest of the harness (see conftest.py).
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.01"))
+
+
+@pytest.fixture(scope="module")
+def edge_relation():
+    return graph_database(load_dataset("bitcoin", scale=BENCH_SCALE)).relation("E")
+
+
+@pytest.fixture(scope="module")
+def warm_store(tmp_path_factory, edge_relation):
+    """A populated store with warm tries persisted as segments."""
+    store_dir = str(tmp_path_factory.mktemp("storage") / "store")
+    db = open_store(store_dir, name="bench")
+    db.add_relation(Relation("E", edge_relation.schema, edge_relation.sorted_rows()))
+    for order in _trie_orders(edge_relation):
+        db.trie("E", order)
+    db.snapshot()
+    db.close()
+    return store_dir
+
+
+def test_storage_trie_rebuild(benchmark, edge_relation):
+    """The cold-start cost the segments avoid: rebuild every warm trie."""
+    orders = _trie_orders(edge_relation)
+
+    def rebuild():
+        fresh = Relation("E_bench", edge_relation.schema, edge_relation.sorted_rows())
+        return [TrieIndex(fresh, order) for order in orders]
+
+    tries = benchmark(rebuild)
+    assert all(trie.num_tuples == edge_relation.cardinality for trie in tries)
+
+
+def test_storage_segment_load_mmap(benchmark, warm_store, edge_relation):
+    """Reloading the same tries from mmap'd segments."""
+    segments = TrieSegmentStore(os.path.join(warm_store, SEGMENTS_DIRNAME)).entries()
+    assert segments
+
+    tries = benchmark(
+        lambda: [read_trie_segment(info.path, use_mmap=True) for info in segments]
+    )
+    assert all(trie.num_tuples == edge_relation.cardinality for trie in tries)
+
+
+def test_storage_segment_load_portable(benchmark, warm_store, edge_relation):
+    """The non-mmap fallback path over the same segments."""
+    segments = TrieSegmentStore(os.path.join(warm_store, SEGMENTS_DIRNAME)).entries()
+
+    tries = benchmark(
+        lambda: [read_trie_segment(info.path, use_mmap=False) for info in segments]
+    )
+    assert all(trie.num_tuples == edge_relation.cardinality for trie in tries)
+
+
+def test_storage_cold_start_recovery(benchmark, warm_store, edge_relation):
+    """A full open/close recovery cycle with segment adoption."""
+    orders = _trie_orders(edge_relation)
+
+    def cold_start():
+        handle = open_store(warm_store, name="bench")
+        try:
+            return [handle.trie("E", order) for order in orders]
+        finally:
+            handle.close()
+
+    tries = benchmark(cold_start)
+    assert all(trie.num_tuples == edge_relation.cardinality for trie in tries)
+
+
+def test_storage_snapshot(benchmark, warm_store):
+    """Folding the catalog into a fresh snapshot (idempotent when clean)."""
+    handle = open_store(warm_store, name="bench")
+    try:
+        benchmark(handle.snapshot)
+        assert handle.info()["wal_records"] == 0
+    finally:
+        handle.close()
+
+
+def test_storage_suite_checks(run_once, bench_seed):
+    """The CLI-facing suite in smoke mode: its consistency checks must hold."""
+    report = run_once(run_storage_benchmarks, seed=bench_seed, smoke=True)
+    assert all(bool(passed) for passed in report["checks"].values()), report["checks"]

@@ -109,6 +109,14 @@ class Session:
         ``ResultSet.trace``), and :meth:`serve` shares the same tracer with
         the service layer, so one export covers both paths.  Default
         ``None`` keeps the zero-overhead no-op tracer.
+    storage_dir:
+        Open (or initialise) the durable store at this directory and use it
+        as the session's catalog — an existing store is *recovered*
+        (snapshot + mmap'd trie segments + WAL replay) before the first
+        statement runs.  Mutually exclusive with ``database``; combine with
+        ``shards``/``partitioner`` to create a durable sharded catalog.
+        The session owns the store: :meth:`snapshot` persists, and
+        :meth:`close` releases its file handles.
     """
 
     def __init__(
@@ -128,10 +136,27 @@ class Session:
         concurrency: int = 1,
         execution_backend=None,
         trace=None,
+        storage_dir: Optional[str] = None,
     ):
         if routing not in ("auto", "rotate"):
             raise ValueError(f"routing must be 'auto' or 'rotate', got {routing!r}")
         check_positive("concurrency", concurrency)
+        if storage_dir is not None:
+            if database is not None:
+                raise ValueError(
+                    "pass either database= or storage_dir=, not both: a "
+                    "durable session owns the catalog it opens"
+                )
+            from repro.storage import open_store
+
+            database = open_store(
+                storage_dir,
+                name="session",
+                num_shards=shards if shards > 1 else None,
+                partitioner=partitioner,
+            )
+        self.storage_dir = storage_dir
+        self._owns_database = storage_dir is not None
         if database is None:
             database = Database("session")
         if shards > 1 and not isinstance(database, ShardedDatabase):
@@ -197,7 +222,27 @@ class Session:
                 self.database.unsubscribe_invalidation(self._partial_cache.invalidate)
             if self._service is not None:
                 self._service.close()  # shut down execution-backend pools
+            if self._owns_database:
+                # A durable catalog opened via storage_dir= belongs to this
+                # session; release its WAL/SQLite handles.
+                self.database.close()
             self._closed = True
+
+    def snapshot(self):
+        """Fold the durable store's WAL into a fresh snapshot.
+
+        Only meaningful for sessions opened with ``storage_dir=`` (or handed
+        a durable catalog); persists every relation plus the currently
+        cached trie indexes as mmap-ready segments and truncates the
+        mutation log.  Returns the store's snapshot summary.
+        """
+        snapshot = getattr(self.database, "snapshot", None)
+        if snapshot is None:
+            raise RuntimeError(
+                "this session's catalog is not durable; open the session "
+                "with storage_dir=... to enable snapshots"
+            )
+        return snapshot()
 
     def __enter__(self) -> "Session":
         return self

@@ -228,7 +228,7 @@ def format_kernel_report(report: Dict) -> str:
     """Human-readable rendering of :func:`run_kernel_benchmarks` output."""
     meta = report["meta"]
     lines = [
-        f"kernel microbenchmarks — {meta['dataset']} scale {meta['scale']} "
+        f"{meta.get('suite', 'kernels')} microbenchmarks — {meta['dataset']} scale {meta['scale']} "
         f"({meta['edges']} edges, seed {meta['seed']}, best of {meta['repeats']})"
     ]
     for name, payload in report["kernels"].items():
@@ -237,10 +237,8 @@ def format_kernel_report(report: Dict) -> str:
         )
         lines.append(f"  {name:<24s} {payload['seconds'] * 1e3:9.3f} ms  ({detail})")
     checks = report["checks"]
-    lines.append(
-        "  checks: engines_agree="
-        f"{checks['engines_agree']} gallop_probes_leq_binary={checks['gallop_probes_leq_binary']}"
-    )
+    rendered = " ".join(f"{name}={value}" for name, value in sorted(checks.items()))
+    lines.append(f"  checks: {rendered}")
     return "\n".join(lines)
 
 

@@ -1,0 +1,244 @@
+"""Storage-tier benchmarks: cold start, snapshot cost, WAL replay.
+
+The durable tier (:mod:`repro.storage`) exists to make restarts cheap: instead
+of re-sorting every relation and rebuilding every trie, a recovered process
+``mmap``s the persisted trie segments and is query-ready immediately.  This
+suite quantifies that claim on a seeded Table 2 stand-in:
+
+* **trie rebuild** — the cold-start cost the segments avoid: flat
+  EmptyHeaded-layout construction from a fresh relation, per cached order;
+* **segment load** — reloading the same tries from disk, via ``mmap`` (the
+  default) and via the portable non-mmap path (the boxed-list fallback route);
+* **cold start** — a full ``open_store`` recovery cycle with segments adopted
+  versus one that rebuilds its tries from the SQLite fragments;
+* **snapshot / WAL replay** — the write-side costs: folding the mutation log
+  into the catalog snapshot, and replaying a log of inserts on recovery.
+
+The committed form of this report, ``BENCH_storage.json``, is the storage
+baseline; ``repro bench storage --compare BENCH_storage.json`` regresses
+against it.  The report shape matches :mod:`repro.eval.kernels`
+(``{meta, kernels, checks}``) so the CLI formatting/artifact/comparison
+pipeline serves both suites.
+
+Beyond timings the suite asserts the recovery contract itself: a recovered
+store must produce the same query results *and the same JoinStats* as a
+freshly built in-memory database over the same rows — recovery must not
+change what the engines compute, only how fast the process gets there.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import shutil
+import tempfile
+from typing import Dict, List, Optional, Tuple
+
+from repro.eval.kernels import _best_of
+from repro.graphs import graph_database, load_dataset, pattern_query
+from repro.joins.leapfrog import LeapfrogTrieJoin
+from repro.relational.catalog import Database
+from repro.relational.relation import Relation
+from repro.relational.trie import TrieIndex
+from repro.storage import TrieSegmentStore, open_store, read_trie_segment
+from repro.storage.durable import SEGMENTS_DIRNAME
+
+#: Dataset the storage suite runs on (same seeded stand-in as the kernels).
+STORAGE_DATASET = "bitcoin"
+
+#: Default dataset scale — matches the kernel suite so the two baselines
+#: describe the same data.
+DEFAULT_STORAGE_SCALE = 0.05
+
+#: Tiny scale used by ``--smoke`` (CI correctness gate, not timing-sensitive).
+SMOKE_STORAGE_SCALE = 0.01
+
+#: The headline claim the check enforces: reloading tries from mmap'd
+#: segments must beat rebuilding them by at least this factor.
+COLD_START_TARGET_SPEEDUP = 5.0
+
+#: Inserts appended to the mutation log for the replay timing.
+WAL_REPLAY_ROWS = 256
+
+
+def _trie_orders(relation: Relation) -> List[Tuple[str, ...]]:
+    """The attribute orders the benchmark warms (schema order + reversed)."""
+    attributes = tuple(relation.schema.attributes)
+    orders = [attributes]
+    if len(attributes) > 1:
+        orders.append(tuple(reversed(attributes)))
+    return orders
+
+
+def run_storage_benchmarks(
+    scale: Optional[float] = None,
+    seed: Optional[int] = None,
+    repeats: int = 3,
+    smoke: bool = False,
+) -> Dict:
+    """Run the storage suite and return the JSON-serialisable report.
+
+    Parameters mirror :func:`repro.eval.kernels.run_kernel_benchmarks`:
+    ``smoke`` forces the tiny scale and a single repeat (CI gate mode), and
+    ``seed`` defaults to ``REPRO_BENCH_SEED``.
+    """
+    if seed is None:
+        seed = int(os.environ.get("REPRO_BENCH_SEED", "2020"))
+    if smoke:
+        scale = SMOKE_STORAGE_SCALE if scale is None else scale
+        repeats = 1
+    elif scale is None:
+        scale = DEFAULT_STORAGE_SCALE
+
+    source = graph_database(load_dataset(STORAGE_DATASET, scale=scale))
+    edge_relation = source.relation("E")
+    orders = _trie_orders(edge_relation)
+    kernels: Dict[str, Dict] = {}
+
+    workdir = tempfile.mkdtemp(prefix="repro-bench-storage-")
+    try:
+        store_dir = os.path.join(workdir, "store")
+
+        # --- populate a store and warm the tries the segments will persist.
+        db = open_store(store_dir, name="bench")
+        db.add_relation(
+            Relation("E", edge_relation.schema, edge_relation.sorted_rows())
+        )
+        for order in orders:
+            db.trie("E", order)
+
+        kernels["snapshot"] = {
+            "seconds": _best_of(db.snapshot, repeats),
+            "relations": len(db.relation_names()),
+            "tries": len(orders),
+        }
+        db.close()
+
+        segment_store = TrieSegmentStore(os.path.join(store_dir, SEGMENTS_DIRNAME))
+        segments = segment_store.entries()
+        segment_bytes = segment_store.total_bytes()
+
+        # --- the cost mmap segments avoid: rebuild every warm trie from a
+        # fresh relation (fresh each round so the permutation cache of the
+        # timed relation never short-circuits the sort).
+        def rebuild_tries() -> List[TrieIndex]:
+            fresh = Relation(
+                "E_bench", edge_relation.schema, edge_relation.sorted_rows()
+            )
+            return [TrieIndex(fresh, order) for order in orders]
+
+        rebuild_seconds = _best_of(rebuild_tries, repeats)
+        kernels["trie_rebuild"] = {
+            "seconds": rebuild_seconds,
+            "tries": len(orders),
+            "tuples": edge_relation.cardinality,
+        }
+
+        def load_segments(use_mmap: bool) -> List[TrieIndex]:
+            return [
+                read_trie_segment(info.path, use_mmap=use_mmap) for info in segments
+            ]
+
+        mmap_seconds = _best_of(lambda: load_segments(True), repeats)
+        kernels["segment_load_mmap"] = {
+            "seconds": mmap_seconds,
+            "segments": len(segments),
+            "bytes": segment_bytes,
+            "speedup_vs_rebuild": round(rebuild_seconds / max(mmap_seconds, 1e-12), 2),
+        }
+        kernels["segment_load_portable"] = {
+            "seconds": _best_of(lambda: load_segments(False), repeats),
+            "segments": len(segments),
+        }
+
+        # --- full recovery cycles: segments adopted vs tries rebuilt.  Both
+        # paths pay the same SQLite fragment load; the difference is how the
+        # process becomes query-ready.
+        def cold_start(use_segments: bool) -> None:
+            handle = open_store(store_dir, name="bench", use_segments=use_segments)
+            try:
+                for order in orders:
+                    handle.trie("E", order)
+            finally:
+                handle.close()
+
+        kernels["cold_start_mmap"] = {
+            "seconds": _best_of(lambda: cold_start(True), repeats),
+        }
+        kernels["cold_start_rebuild"] = {
+            "seconds": _best_of(lambda: cold_start(False), repeats),
+        }
+
+        # --- WAL replay: append a batch of novel edges (logged, not yet
+        # snapshotted), then time recoveries that must replay them.
+        base_vertex = 1 + max(
+            max(row) for row in edge_relation.sorted_rows()
+        )
+        new_rows = [
+            (base_vertex + i, base_vertex + i + 1) for i in range(WAL_REPLAY_ROWS)
+        ]
+        writer = open_store(store_dir, name="bench")
+        inserted = writer.insert_into("E", new_rows)
+        wal_records = writer.info()["wal_records"]
+        writer.close()
+
+        def replay_recovery() -> None:
+            handle = open_store(store_dir, name="bench")
+            handle.close()
+
+        kernels["wal_replay"] = {
+            "seconds": _best_of(replay_recovery, repeats),
+            "records": wal_records,
+            "rows": inserted,
+        }
+
+        # --- the recovery contract: identical results and JoinStats versus a
+        # freshly built in-memory database over the same logical rows.
+        recovered = open_store(store_dir, name="bench")
+        try:
+            expected_rows = sorted(
+                set(edge_relation.sorted_rows()) | set(new_rows)
+            )
+            fresh_db = Database("fresh")
+            fresh_db.add_relation(
+                Relation("E", edge_relation.schema, expected_rows)
+            )
+            engine = LeapfrogTrieJoin()
+            query = pattern_query("cycle3")
+            recovered_result = engine.run(query, recovered)
+            fresh_result = engine.run(query, fresh_db)
+            recovered_equivalent = (
+                sorted(recovered.relation("E").sorted_rows()) == expected_rows
+                and recovered_result.cardinality == fresh_result.cardinality
+                and sorted(recovered_result.tuples) == sorted(fresh_result.tuples)
+                and recovered_result.stats.lub_searches
+                == fresh_result.stats.lub_searches
+                and recovered_result.stats.index_element_reads
+                == fresh_result.stats.index_element_reads
+            )
+        finally:
+            recovered.close()
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    speedup = rebuild_seconds / max(mmap_seconds, 1e-12)
+    checks = {
+        "mmap_cold_start_geq_5x_vs_rebuild": speedup >= COLD_START_TARGET_SPEEDUP,
+        "recovered_equivalent": recovered_equivalent,
+        "wal_replayed_all_rows": inserted == WAL_REPLAY_ROWS,
+    }
+
+    return {
+        "meta": {
+            "suite": "storage",
+            "dataset": STORAGE_DATASET,
+            "scale": scale,
+            "seed": seed,
+            "repeats": repeats,
+            "smoke": smoke,
+            "edges": edge_relation.cardinality,
+            "python": platform.python_version(),
+        },
+        "kernels": kernels,
+        "checks": checks,
+    }

@@ -211,6 +211,29 @@ class Database:
     # ------------------------------------------------------------------ #
     # Trie construction
     # ------------------------------------------------------------------ #
+    def adopt_trie(self, trie: TrieIndex) -> None:
+        """Install a prebuilt trie into the cache (the cold-start path).
+
+        The durable store reloads persisted segments this way, so the first
+        query after a restart maps files instead of rebuilding indexes.  The
+        caller guarantees the trie matches the stored relation's current
+        rows — any later mutation of that relation evicts it like any other
+        cached trie.
+        """
+        if trie.relation_name not in self._relations:
+            raise KeyError(
+                f"cannot adopt trie for unknown relation {trie.relation_name!r} "
+                f"in {self.name!r}"
+            )
+        key = (trie.relation_name, trie.attribute_order)
+        with self._trie_lock:
+            self._trie_cache[key] = trie
+
+    def cached_tries(self) -> Tuple[TrieIndex, ...]:
+        """Snapshot of the currently cached (built or adopted) tries."""
+        with self._trie_lock:
+            return tuple(self._trie_cache.values())
+
     def trie(self, relation_name: str, attribute_order: Sequence[str]) -> TrieIndex:
         """Return (building if needed) the trie of ``relation_name`` in the given order.
 

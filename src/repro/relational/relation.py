@@ -126,6 +126,24 @@ class Relation:
         for row in rows:
             self.insert(row)
 
+    @classmethod
+    def from_sorted_rows(
+        cls, name: str, schema: Schema, sorted_rows: Sequence[Row]
+    ) -> "Relation":
+        """Adopt rows that are already sorted, deduplicated int tuples.
+
+        The durable-storage restore path loads fragments in exactly that
+        form, so this skips per-row normalisation and pre-seeds the
+        sorted-rows cache — the first trie build after a cold start pays no
+        re-sort.  Callers must guarantee the invariants; they are not
+        checked here.
+        """
+        relation = cls(name, schema)
+        rows = list(sorted_rows)
+        relation._rows = set(rows)
+        relation._sorted_cache = rows
+        return relation
+
     # ------------------------------------------------------------------ #
     # Mutation
     # ------------------------------------------------------------------ #

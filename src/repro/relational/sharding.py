@@ -340,6 +340,44 @@ class ShardedDatabase:
             MutationEvent(relation.name, shard=None, delta=relation.cardinality, kind="define")
         )
 
+    def adopt_partitioned_relation(
+        self,
+        relation: Relation,
+        fragments: Sequence[Relation],
+        partitioner,
+        position: int,
+    ) -> None:
+        """Install an already partitioned relation without refitting.
+
+        This is the durable-storage recovery path: the partitioner arrives
+        *fitted* (e.g. a :class:`RangePartitioner` with its persisted
+        boundaries), and ``fragments`` are the per-shard relations exactly
+        as they were split — re-running :meth:`_partition_relation` would
+        refit on post-mutation data and route future inserts differently
+        than the original catalog did.
+        """
+        if len(fragments) != self.num_shards:
+            raise ValueError(
+                f"expected {self.num_shards} fragments for {relation.name!r}, "
+                f"got {len(fragments)}"
+            )
+        self._global.add_relation(relation)
+        self._partitioners[relation.name] = partitioner
+        self._shard_positions[relation.name] = position
+        for shard, fragment in zip(self._shards, fragments):
+            shard.add_relation(fragment)
+        self._notify(
+            MutationEvent(relation.name, shard=None, delta=relation.cardinality, kind="define")
+        )
+
+    def adopt_replicated_relation(self, relation: Relation) -> None:
+        """Install an already replicated relation (recovery path)."""
+        self._global.add_relation(relation)
+        self._replicated.add(relation.name)
+        self._notify(
+            MutationEvent(relation.name, shard=None, delta=relation.cardinality, kind="define")
+        )
+
     def _partition_relation(self, relation: Relation) -> None:
         attribute = self._shard_attributes.get(
             relation.name, relation.schema.attributes[0]

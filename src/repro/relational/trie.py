@@ -123,6 +123,43 @@ class TrieIndex:
             offsets[level].append(len(values[level + 1]))
         return values, offsets
 
+    @classmethod
+    def from_flat(
+        cls,
+        relation_name: str,
+        attribute_order: Sequence[str],
+        values: Sequence[Sequence[int]],
+        offsets: Sequence[Sequence[int]],
+        num_tuples: int,
+        validate: bool = False,
+    ) -> "TrieIndex":
+        """Adopt already-built flat arrays without touching any rows.
+
+        This is the durable-storage cold-start path: the persisted segment
+        holds exactly ``values``/``offsets``, so adoption is O(1) per level
+        (the sequences may be ``array('q')``, plain lists, or zero-copy
+        ``memoryview`` slices over an ``mmap``).  ``validate`` runs the full
+        structural invariant check — O(n), so it is opt-in.
+        """
+        if len(values) != len(attribute_order):
+            raise ValueError(
+                f"expected {len(attribute_order)} value levels, got {len(values)}"
+            )
+        if len(offsets) != max(len(attribute_order) - 1, 0):
+            raise ValueError(
+                f"expected {max(len(attribute_order) - 1, 0)} offset levels, "
+                f"got {len(offsets)}"
+            )
+        trie = cls.__new__(cls)
+        trie.relation_name = relation_name
+        trie.attribute_order = tuple(attribute_order)
+        trie._values = list(values)
+        trie._offsets = list(offsets)
+        trie._num_tuples = num_tuples
+        if validate:
+            trie._check_invariants()
+        return trie
+
     def _check_invariants(self) -> None:
         for level in range(self.num_levels - 1):
             if len(self._offsets[level]) != len(self._values[level]) + 1:

@@ -205,7 +205,7 @@ class QueryService:
 
     def __init__(
         self,
-        database: Database,
+        database: Optional[Database] = None,
         backends: Sequence[Union[str, EngineProtocol]] = ("lftj", "ctj"),
         compiler: Optional[QueryCompiler] = None,
         plan_cache_capacity: int = 128,
@@ -221,7 +221,20 @@ class QueryService:
         workers: Optional[int] = None,
         backdated_arrivals: str = "warn",
         tracer: Union[Tracer, bool, None] = None,
+        storage_dir: Optional[str] = None,
     ):
+        if storage_dir is not None:
+            if database is not None:
+                raise ValueError(
+                    "pass either database= or storage_dir=, not both: a "
+                    "durable service owns the store it opens"
+                )
+            from repro.storage import open_store
+
+            database = open_store(storage_dir, name="service")
+        self._owns_database = storage_dir is not None
+        if database is None:
+            raise ValueError("QueryService needs a database (or a storage_dir)")
         if not backends:
             raise ValueError("QueryService needs at least one backend")
         if backdated_arrivals not in BACKDATED_POLICIES:
@@ -377,8 +390,28 @@ class QueryService:
         return self.drain()[request_id]
 
     def close(self) -> None:
-        """Release the execution backend's host resources (worker pools)."""
+        """Release the execution backend's host resources (worker pools).
+
+        A service opened with ``storage_dir=`` also releases its durable
+        store's file handles.
+        """
         self.execution_backend.close()
+        if self._owns_database:
+            self.database.close()
+
+    def snapshot(self):
+        """Fold the durable store's WAL into a fresh snapshot.
+
+        Only available when the service's catalog is durable (opened via
+        ``storage_dir=`` or constructed from :mod:`repro.storage`).
+        """
+        snapshot = getattr(self.database, "snapshot", None)
+        if snapshot is None:
+            raise RuntimeError(
+                "this service's catalog is not durable; open the service "
+                "with storage_dir=... to enable snapshots"
+            )
+        return snapshot()
 
     @property
     def rejected_requests(self) -> Tuple[int, ...]:

@@ -1,0 +1,38 @@
+"""Errors raised by the durable storage tier.
+
+Everything the :mod:`repro.storage` subsystem can complain about derives
+from :class:`StorageError`, so callers that treat "the store is unusable"
+uniformly (the CLI, the recovery path) catch one type, while tests that care
+*why* (a torn WAL versus a corrupt trie segment) catch the subclass.
+"""
+
+from __future__ import annotations
+
+
+class StorageError(RuntimeError):
+    """Base class for every durable-storage failure."""
+
+
+class StoreFormatError(StorageError):
+    """The on-disk store layout or its format version is not usable."""
+
+
+class WalCorruptionError(StorageError):
+    """A mutation-log record is unreadable *before* the final record.
+
+    A torn **final** record (a crash mid-append) is expected and silently
+    dropped during replay; garbage in the middle of the log means the file
+    was damaged after the fact and recovery must not guess past it.
+    """
+
+
+class SegmentFormatError(StorageError):
+    """A trie segment file has a bad magic/version/checksum or is truncated."""
+
+
+__all__ = [
+    "SegmentFormatError",
+    "StorageError",
+    "StoreFormatError",
+    "WalCorruptionError",
+]

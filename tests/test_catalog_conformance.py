@@ -1,0 +1,124 @@
+"""Shared conformance suite for every :class:`Catalog` implementation.
+
+Engines, caches and the serving layer are written against the ``Catalog``
+protocol, not a concrete class — so every implementation (the in-memory
+:class:`Database`, the scatter-gather :class:`ShardedDatabase`, and both
+durable variants from :mod:`repro.storage`) must expose identical observable
+behaviour: lookup and membership, cached trie builds, atom/trie translation,
+query validation, conservative insert semantics and the invalidation event
+stream.  One parametrized suite keeps the implementations from drifting.
+"""
+
+import pytest
+
+from repro.graphs import pattern_query
+from repro.relational import (
+    Atom,
+    Catalog,
+    ConjunctiveQuery,
+    Database,
+    MutationEvent,
+    Relation,
+    Schema,
+    ShardedDatabase,
+)
+from repro.storage import DurableDatabase, DurableShardedDatabase
+
+EDGES = [(1, 2), (1, 3), (2, 3), (3, 1), (4, 1), (4, 5)]
+
+CATALOG_KINDS = (
+    "database",
+    "sharded-hash",
+    "sharded-range",
+    "durable",
+    "durable-sharded",
+)
+
+
+def edge_relation():
+    return Relation("E", Schema(("src", "dst")), EDGES)
+
+
+@pytest.fixture(params=CATALOG_KINDS)
+def catalog(request, tmp_path):
+    """One freshly populated catalog per implementation under test."""
+    kind = request.param
+    if kind == "database":
+        instance = Database("conformance")
+    elif kind == "sharded-hash":
+        instance = ShardedDatabase("conformance", num_shards=2, partitioner="hash")
+    elif kind == "sharded-range":
+        instance = ShardedDatabase("conformance", num_shards=2, partitioner="range")
+    elif kind == "durable":
+        instance = DurableDatabase(str(tmp_path / "store"), name="conformance")
+    else:
+        instance = DurableShardedDatabase(
+            str(tmp_path / "store"), name="conformance", num_shards=2
+        )
+    instance.add_relation(edge_relation())
+    yield instance
+    close = getattr(instance, "close", None)
+    if close is not None:
+        close()
+
+
+class TestCatalogConformance:
+    def test_satisfies_the_protocol(self, catalog):
+        assert isinstance(catalog, Catalog)
+        assert catalog.name == "conformance"
+
+    def test_membership_and_lookup(self, catalog):
+        assert "E" in catalog
+        assert "missing" not in catalog
+        assert "E" in catalog.relation_names()
+        assert sorted(catalog.relation("E").sorted_rows()) == sorted(EDGES)
+        with pytest.raises(KeyError):
+            catalog.relation("missing")
+
+    def test_total_tuples_counts_stored_rows(self, catalog):
+        assert catalog.total_tuples() == len(EDGES)
+
+    def test_tries_are_built_once_and_ordered(self, catalog):
+        trie = catalog.trie("E", ("dst", "src"))
+        assert trie.num_tuples == len(EDGES)
+        assert trie.attribute_order == ("dst", "src")
+        assert catalog.trie("E", ("dst", "src")) is trie  # cached
+
+    def test_trie_for_atom_translates_variable_order(self, catalog):
+        atom = pattern_query("cycle3").atoms[0]  # E(x, y)
+        trie = catalog.trie_for_atom(atom, ("y", "x", "z"))
+        assert trie.attribute_order == ("dst", "src")
+        assert trie.num_tuples == len(EDGES)
+
+    def test_validate_query(self, catalog):
+        catalog.validate_query(pattern_query("cycle3"))
+        bad = ConjunctiveQuery(
+            "bad", ("x", "y"), [Atom("missing", ("x", "y"))]
+        )
+        with pytest.raises(KeyError):
+            catalog.validate_query(bad)
+
+    def test_insert_semantics_are_conservative(self, catalog):
+        stale = catalog.trie("E", ("src", "dst"))
+        assert catalog.insert_into("E", [(9, 9), (1, 2)]) == 1  # one duplicate
+        assert catalog.insert_into("E", [(9, 9)]) == 0
+        fresh = catalog.trie("E", ("src", "dst"))
+        assert fresh is not stale  # mutation evicted the cached trie
+        assert fresh.num_tuples == len(EDGES) + 1
+
+    def test_insert_into_unknown_relation_raises(self, catalog):
+        with pytest.raises(KeyError):
+            catalog.insert_into("missing", [(1, 2)])
+
+    def test_invalidation_events_flow_until_unsubscribed(self, catalog):
+        events = []
+        catalog.subscribe_invalidation(events.append)
+        catalog.insert_into("E", [(7, 8)])
+        assert events and events[-1].relation == "E"
+        assert events[-1].kind == "insert"
+        assert events[-1].delta == 1
+        assert isinstance(events[-1], MutationEvent)
+        assert catalog.unsubscribe_invalidation(events.append)
+        catalog.insert_into("E", [(8, 9)])
+        assert len(events) == 1
+        assert not catalog.unsubscribe_invalidation(events.append)

@@ -96,7 +96,7 @@ class TestCommands:
         report_path = tmp_path / "kernels.json"
         assert main(["bench", "kernels", "--smoke", "--output", str(report_path)]) == 0
         output = capsys.readouterr().out
-        assert "kernel microbenchmarks" in output
+        assert "kernels microbenchmarks" in output
         assert "engines_agree=True" in output
         import json
 
@@ -264,3 +264,89 @@ class TestTraceCommands:
             build_parser().parse_args(
                 ["run", "cycle3", "--trace", "x", "--trace-format", "xml"]
             )
+
+
+class TestStoreCommands:
+    """The durable-store CLI surface: init, info, snapshot, recover, reuse."""
+
+    def _init(self, tmp_path, *extra):
+        store_dir = str(tmp_path / "store")
+        assert (
+            main(
+                ["store", "init", store_dir, "--dataset", "bitcoin", "--scale", "0.01"]
+                + list(extra)
+            )
+            == 0
+        )
+        return store_dir
+
+    def test_store_init_and_info(self, tmp_path, capsys):
+        store_dir = self._init(tmp_path)
+        output = capsys.readouterr().out
+        assert "initialised" in output and "segment(s)" in output
+        assert main(["store", "info", store_dir]) == 0
+        info = capsys.readouterr().out
+        assert "kind" in info and "single" in info
+        assert "snapshot_seq" in info
+
+    def test_store_init_sharded(self, tmp_path, capsys):
+        store_dir = self._init(tmp_path, "--shards", "2", "--partitioner", "range")
+        capsys.readouterr()
+        assert main(["store", "info", store_dir]) == 0
+        info = capsys.readouterr().out
+        assert "sharded" in info and "range" in info
+
+    def test_store_init_refuses_existing(self, tmp_path, capsys):
+        store_dir = self._init(tmp_path)
+        capsys.readouterr()
+        assert main(["store", "init", store_dir]) == 1
+        assert "already" in capsys.readouterr().err
+
+    def test_run_against_store_and_recover(self, tmp_path, capsys):
+        store_dir = self._init(tmp_path)
+        capsys.readouterr()
+        assert (
+            main(["run", "cycle3", "--engine", "lftj", "--storage-dir", store_dir]) == 0
+        )
+        output = capsys.readouterr().out
+        assert "store: recovered" in output
+        assert "matches:" in output
+        assert main(["store", "recover", store_dir, "--verify"]) == 0
+        recover_output = capsys.readouterr().out
+        assert "verified" in recover_output and "compacted" in recover_output
+
+    def test_workload_populates_fresh_store(self, tmp_path, capsys):
+        store_dir = str(tmp_path / "fresh")
+        assert (
+            main(
+                ["workload", "--dataset", "bitcoin", "--scale", "0.01",
+                 "--num-queries", "6", "--update-fraction", "0.5",
+                 "--seed", "3", "--storage-dir", store_dir]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "store: initialised" in output
+        assert "store: snapshot" in output
+        assert main(["store", "info", store_dir]) == 0
+        assert "snapshot_rows" in capsys.readouterr().out
+
+    def test_store_snapshot_folds_wal(self, tmp_path, capsys):
+        store_dir = self._init(tmp_path)
+        capsys.readouterr()
+        assert main(["store", "snapshot", store_dir]) == 0
+        assert "snapshot" in capsys.readouterr().out
+
+    def test_existing_store_wins_over_dataset_flags(self, tmp_path, capsys):
+        """Against an existing store the dataset/edge-list flags only matter
+        for a *fresh* store — the recovered catalog is served as-is."""
+        store_dir = self._init(tmp_path)
+        capsys.readouterr()
+        graph = community_graph(20, 40, seed=2020)
+        edges = tmp_path / "edges.txt"
+        write_snap_edge_list(graph, str(edges))
+        assert (
+            main(["run", "cycle3", "--edge-list", str(edges), "--storage-dir", store_dir])
+            == 0
+        )
+        assert "store: recovered" in capsys.readouterr().out
