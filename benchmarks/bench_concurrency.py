@@ -2,19 +2,23 @@
 
 The benchmark serves the same seeded mixed workload through
 :class:`repro.service.QueryService` under the deterministic virtual-time
-backend and under the :class:`~repro.service.backends.ThreadPoolBackend`
-at several worker counts, and reports:
+backend, the :class:`~repro.service.backends.ThreadPoolBackend` and the
+:class:`~repro.service.backends.ProcessPoolBackend` at several worker
+counts, and reports:
 
 * host wall-clock throughput (queries/sec) as the pytest-benchmark number —
   the acceptance criterion's "throughput for ≥ 2 worker counts";
-* an **equivalence check** per threaded configuration: result sets, cache
+* an **equivalence check** per pooled configuration: result sets, cache
   hit/miss counters and admission decisions must match the virtual-time
-  oracle exactly (the threaded backend only moves engine work onto the
+  oracle exactly (the pooled backends only move engine work onto their
   pool, never the deterministic event order).
 
 Honesty note: the engines are pure Python, so on CPython the GIL bounds
-the wall-clock speedup — the interesting output is the measured overhead /
-overlap at each worker count, not a linear scaling curve.  All randomness
+the *threaded* wall-clock speedup — its interesting output is the measured
+overhead / overlap at each worker count, not a linear scaling curve.  The
+process backend escapes the GIL by shipping engine work to worker
+processes over shared-memory trie segments (:mod:`repro.service.shm`);
+its scaling is bounded by the host core count instead.  All randomness
 derives from the harness seed (``REPRO_BENCH_SEED``), so the workload and
 the admission lottery are identical run-to-run.
 """
@@ -36,8 +40,18 @@ NUM_QUERIES = 120
 BACKENDS = ("lftj", "ctj")
 
 #: Execution-backend configurations: (name, workers).  ``workers=None``
-#: is the virtual-time baseline; the threaded sweep covers ≥ 2 counts.
-CONFIGURATIONS = (("virtual", None), ("threads", 1), ("threads", 2), ("threads", 4))
+#: is the virtual-time baseline; the threads and process sweeps cover
+#: ≥ 2 worker counts each (the process pool serves engine work over
+#: shared-memory trie segments, escaping the GIL on multi-core hosts).
+CONFIGURATIONS = (
+    ("virtual", None),
+    ("threads", 1),
+    ("threads", 2),
+    ("threads", 4),
+    ("process", 1),
+    ("process", 2),
+    ("process", 4),
+)
 
 
 def _spec() -> WorkloadSpec:

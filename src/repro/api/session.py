@@ -98,8 +98,13 @@ class Session:
         :class:`~repro.service.backends.ThreadPoolBackend` with ``N``
         workers — same results, cache contents and admission decisions,
         with engine work overlapping on the host.  ``execution_backend``
-        pins a backend name (``"virtual"``/``"threads"``) or a ready
+        pins a backend name from the registry (``"virtual"``,
+        ``"threads"``, or ``"process"`` — the latter ships plan-aware
+        engine work to worker processes over shared-memory trie segments,
+        see :mod:`repro.service.shm`) or a ready
         :class:`~repro.service.backends.ExecutionBackend` instance.
+        Pooled backends own host resources (worker pools, shared-memory
+        segments); :meth:`close` releases them and is idempotent.
     max_in_flight / max_queue_depth / seed:
         Admission-control knobs for :meth:`serve`.
     trace:

@@ -14,6 +14,8 @@ The CLI exposes the library's main entry points without writing any Python::
     python -m repro workload --dataset grqc --num-queries 200 --backends lftj ctj
     python -m repro workload --dataset grqc --route auto --backends ctj triejax
     python -m repro workload --dataset grqc --backend threads --workers 4
+    python -m repro workload --dataset grqc --backend process --workers 4
+    python -m repro run cycle3 --dataset grqc --backend process --workers 2
     python -m repro workload --dataset grqc --trace out.jsonl --metrics out.prom
     python -m repro run cycle3 --dataset grqc --trace out.json --trace-format chrome
     python -m repro trace validate out.jsonl
@@ -21,6 +23,7 @@ The CLI exposes the library's main entry points without writing any Python::
     python -m repro bench kernels --output BENCH_kernels.json
     python -m repro bench kernels --compare BENCH_kernels.json --run nightly
     python -m repro bench storage --smoke
+    python -m repro bench concurrency --compare BENCH_concurrency.json
     python -m repro store init var/store --dataset grqc --scale 0.01
     python -m repro store info var/store
     python -m repro run cycle3 --storage-dir var/store
@@ -34,16 +37,20 @@ executing; ``experiment`` regenerates one of the paper's tables/figures;
 ``compare`` pits TrieJax against the four baseline systems on a single
 workload; ``workload`` serves a seeded stream of mixed queries through the
 :mod:`repro.service` subsystem — rotating round-robin or cost-routed
-(``--route auto``), on the deterministic virtual-time loop or a concurrent
-thread pool (``--backend threads --workers N``, same results with
-wall-clock numbers in the report) — and prints the service report
+(``--route auto``), on the deterministic virtual-time loop, a concurrent
+thread pool, or a process pool over shared-memory trie segments
+(``--backend threads|process --workers N``, same results with wall-clock
+numbers in the report; ``run`` accepts the same flags and serves the
+single query through the service layer) — and prints the service report
 (latencies, queue waits, cache hit rates); ``bench`` runs a microbenchmark suite (currently
 ``kernels``: trie build, LUB/gallop probes, per-engine enumeration) without
 pytest, honouring ``REPRO_BENCH_SEED``, optionally persisting a
 run-manifest artifact directory (``--run``) and diffing against the
 committed baseline (``--compare BENCH_kernels.json``, nonzero exit on
 regression; the ``storage`` suite measures mmap cold start vs trie rebuild
-and snapshot/WAL-replay cost); ``store init|snapshot|recover|info`` manages
+and snapshot/WAL-replay cost, and the ``concurrency`` suite sweeps
+execution backends × workers for wall qps plus backend-equivalence and
+segment-leak checks); ``store init|snapshot|recover|info`` manages
 a durable store directory (:mod:`repro.storage`) and ``run``/``workload``
 accept ``--storage-dir`` to execute against one — recovering it on open and
 snapshotting it afterwards; ``run`` and ``workload`` accept ``--trace out`` (JSONL or
@@ -77,7 +84,7 @@ from repro.graphs import (
     table1_rows,
     table2_rows,
 )
-from repro.service import WorkloadSpec, generate_requests
+from repro.service import EXECUTION_BACKEND_NAMES, WorkloadSpec, generate_requests
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -117,6 +124,19 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--partitioner", default="hash", choices=["hash", "range"],
         help="how relations are partitioned across shards",
+    )
+    run_parser.add_argument(
+        "--backend",
+        default="virtual",
+        choices=list(EXECUTION_BACKEND_NAMES),
+        help="execution backend from the shared registry "
+        "(repro.service.backends): 'virtual' executes synchronously; "
+        "'threads'/'process' serve the query through the service layer on "
+        "a worker pool (same results, wall-clock timing printed)",
+    )
+    run_parser.add_argument(
+        "--workers", type=int, default=4,
+        help="worker count of a pooled execution backend",
     )
     run_parser.add_argument(
         "--count-only", action="store_true", help="aggregate mode: count matches, do not enumerate"
@@ -222,14 +242,16 @@ def build_parser() -> argparse.ArgumentParser:
     workload_parser.add_argument(
         "--backend",
         default="virtual",
-        choices=["virtual", "threads"],
-        help="execution backend: deterministic virtual-time loop, or a "
-        "thread pool that overlaps engine work on the host (same results "
-        "and cache behaviour, wall-clock numbers in the report)",
+        choices=list(EXECUTION_BACKEND_NAMES),
+        help="execution backend from the shared registry "
+        "(repro.service.backends): deterministic virtual-time loop, a "
+        "thread pool, or a process pool over shared-memory trie segments "
+        "(same results and cache behaviour, wall-clock numbers in the "
+        "report)",
     )
     workload_parser.add_argument(
         "--workers", type=int, default=4,
-        help="worker threads of the threaded execution backend",
+        help="worker count of a pooled execution backend",
     )
     workload_parser.add_argument(
         "--mode",
@@ -354,7 +376,7 @@ def build_parser() -> argparse.ArgumentParser:
         "bench", help="run a microbenchmark suite without pytest"
     )
     bench_parser.add_argument(
-        "suite", choices=["kernels", "storage"], help="which suite to run"
+        "suite", choices=["kernels", "storage", "concurrency"], help="which suite to run"
     )
     bench_parser.add_argument(
         "--scale", type=float, default=None,
@@ -476,6 +498,10 @@ def _storage_session_kwargs(args) -> dict:
 def _cmd_run(args) -> int:
     statement = Statement.pattern(args.query)
     storage_kwargs = _storage_session_kwargs(args)
+    backend_kwargs = dict(
+        execution_backend=args.backend,
+        concurrency=args.workers if args.backend != "virtual" else 1,
+    )
     if storage_kwargs:
         from repro.storage import store_exists
 
@@ -485,6 +511,7 @@ def _cmd_run(args) -> int:
             shards=args.shards,
             partitioner=args.partitioner,
             trace=bool(args.trace),
+            **backend_kwargs,
             **storage_kwargs,
         )
         if recovered:
@@ -505,9 +532,12 @@ def _cmd_run(args) -> int:
             shards=args.shards,
             partitioner=args.partitioner,
             trace=bool(args.trace),
+            **backend_kwargs,
         )
     if session.num_shards > 1:
         print(session.database.describe())
+    if args.backend != "virtual":
+        return _run_on_service(session, statement, args, bool(storage_kwargs))
     result = session.execute(statement, route=args.engine)
     print(f"query: {result.query.to_datalog()}")
     print(f"matches: {result.cardinality}")
@@ -540,7 +570,49 @@ def _cmd_run(args) -> int:
             f"({summary['relations']} relation(s), "
             f"{summary['segments']} trie segment(s))"
         )
-        session.close()
+    session.close()
+    return 0
+
+
+def _run_on_service(session, statement, args, durable: bool) -> int:
+    """Serve a single ``run`` query through the session's service layer.
+
+    The pooled execution backends (``--backend threads|process``) live
+    behind :class:`repro.service.QueryService`, so the query goes through
+    submit/drain — the engine work actually runs on the configured worker
+    pool, while results and cache behaviour match the synchronous path.
+    """
+    query = statement.resolve(session.database)
+    service = session.service
+    request_id = service.submit(
+        query, backend=None if args.engine == "auto" else args.engine
+    )
+    started = time.perf_counter()
+    outcome = service.drain()[request_id]
+    elapsed = time.perf_counter() - started
+    record = outcome.record
+    print(f"query: {query.to_datalog()}")
+    print(f"matches: {outcome.cardinality}")
+    print(
+        f"served on: {record.backend} via the {args.backend} backend "
+        f"({args.workers} worker(s), {elapsed * 1e3:.1f} ms wall)"
+    )
+    if args.show_results > 0:
+        for row in sorted(outcome.tuples)[: args.show_results]:
+            print("  " + ", ".join(str(v) for v in row))
+    if args.trace:
+        from repro.obs import write_trace
+
+        count = write_trace(session.tracer, args.trace, args.trace_format)
+        print(f"wrote {count} {args.trace_format} trace record(s) to {args.trace}")
+    if durable:
+        summary = session.snapshot()
+        print(
+            f"store: snapshot {summary['snapshot_seq']} "
+            f"({summary['relations']} relation(s), "
+            f"{summary['segments']} trie segment(s))"
+        )
+    session.close()  # joins pools, unlinks shared-memory segments
     return 0
 
 
@@ -620,7 +692,7 @@ def _cmd_workload(args) -> int:
         shards=args.shards,
         partitioner=args.partitioner,
         execution_backend=args.backend,
-        concurrency=args.workers if args.backend == "threads" else 1,
+        concurrency=args.workers if args.backend != "virtual" else 1,
         trace=bool(args.trace),
     )
     if storage_kwargs:
@@ -841,6 +913,12 @@ def _cmd_bench(args) -> int:
         from repro.eval.storagebench import run_storage_benchmarks
 
         report = run_storage_benchmarks(
+            scale=args.scale, seed=args.seed, repeats=args.repeats, smoke=args.smoke
+        )
+    elif args.suite == "concurrency":
+        from repro.eval.concurrencybench import run_concurrency_benchmarks
+
+        report = run_concurrency_benchmarks(
             scale=args.scale, seed=args.seed, repeats=args.repeats, smoke=args.smoke
         )
     else:

@@ -212,6 +212,21 @@ class JoinPlan:
             self._slot_program = program
         return program
 
+    # ------------------------------------------------------------------ #
+    # Pickling
+    # ------------------------------------------------------------------ #
+    def __getstate__(self) -> Dict[str, object]:
+        # Plans travel to worker processes (repro.service.shm); ship only
+        # the declarative structure.  The slot program is a deterministic
+        # pure function of it, so each process recompiles lazily instead of
+        # paying the pickle bytes.
+        state = dict(self.__dict__)
+        state.pop("_slot_program", None)
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__dict__.update(state)
+
     def _compile_slots(self) -> SlotProgram:
         trie_keys = tuple(binding.trie_key for binding in self.atom_bindings)
         position_base: List[int] = []

@@ -22,9 +22,11 @@ into service reports.
 *How* admitted requests physically execute is pluggable too
 (:mod:`repro.service.backends`): :class:`VirtualTimeBackend` is the
 deterministic virtual-time oracle, :class:`ThreadPoolBackend` overlaps the
-engine work on a host worker pool while keeping the same deterministic
-event order (identical results, cache contents and admission decisions —
-see ``QueryService(backend=..., workers=...)``).
+engine work on a host worker pool, and :class:`ProcessPoolBackend` ships
+it to worker processes over shared-memory trie segments
+(:mod:`repro.service.shm`) to escape the GIL — all while keeping the same
+deterministic event order (identical results, cache contents and admission
+decisions — see ``QueryService(backend=..., workers=...)``).
 
 Quick start::
 
@@ -59,6 +61,7 @@ from repro.service.backends import (
     EXECUTION_BACKEND_NAMES,
     EXECUTION_BACKENDS,
     ExecutionBackend,
+    ProcessPoolBackend,
     ThreadPoolBackend,
     VirtualTimeBackend,
     create_execution_backend,
@@ -105,6 +108,7 @@ __all__ = [
     "EXECUTION_BACKENDS",
     "EXECUTION_BACKEND_NAMES",
     "ExecutionBackend",
+    "ProcessPoolBackend",
     "ThreadPoolBackend",
     "VirtualTimeBackend",
     "create_execution_backend",

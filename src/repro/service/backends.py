@@ -4,7 +4,7 @@ The paper's TrieJax accelerator wins by overlapping many concurrent join
 probes; the serving layer mirrors that at request granularity.  An
 :class:`ExecutionBackend` owns the *mechanics* of executing the requests the
 admission controller dispatches, while the service keeps the *policy*
-(admission, caches, metrics).  Two backends ship:
+(admission, caches, metrics).  Three backends ship:
 
 * :class:`VirtualTimeBackend` — the deterministic virtual-time event loop
   the service has always run (extracted here, behaviour-identical).  Every
@@ -17,14 +17,19 @@ admission controller dispatches, while the service keeps the *policy*
   in-flight request runs on a :class:`concurrent.futures.ThreadPoolExecutor`
   and overlaps on the host, with per-request wall-clock spans recorded in
   :class:`~repro.service.metrics.QueryRecord.wall_elapsed`.
+* :class:`ProcessPoolBackend` — the threaded backend's orchestration with
+  the engine work shipped to worker *processes* over shared-memory trie
+  segments (:mod:`repro.service.shm`), sidestepping the GIL that keeps
+  pure-Python engine loops serialised under threads.
 
-Because the threaded backend only moves the *pure* part of an execution
+Because the pooled backends only move the *pure* part of an execution
 (the engine call over the read-only catalog) off the orchestrator thread,
-and resolves every in-flight execution before processing the next
-virtual-time completion event, it produces **bit-identical result sets,
+and resolve every in-flight execution before processing the next
+virtual-time completion event, they produce **bit-identical result sets,
 cache contents/counters and admission decisions** to the virtual-time
 backend for the same seeded workload — only the wall-clock numbers differ.
-``tests/test_service_concurrency.py`` pins that equivalence.
+``tests/test_service_concurrency.py`` and
+``tests/test_service_process_backend.py`` pin that equivalence.
 
 Both event orders share one contract: arrivals are processed in
 ``(arrival_time, request_id)`` order and completions in
@@ -293,10 +298,24 @@ class ThreadPoolBackend(ExecutionBackend):
     # ------------------------------------------------------------------ #
     # Execution
     # ------------------------------------------------------------------ #
+    def _engine_runner(self, service: "QueryService"):
+        """The ``engine_runner`` dispatch hands executions to (``None`` here).
+
+        :class:`ProcessPoolBackend` overrides this to offer its
+        shared-memory worker pool; the threaded backend runs every work
+        closure on its own request threads.
+        """
+        return None
+
     def _start(
         self, service: "QueryService", request: "ServiceRequest", start_time: float
     ) -> object:
-        prepared = service._dispatch(request, start_time, task_map=self.shard_task_map)
+        prepared = service._dispatch(
+            request,
+            start_time,
+            task_map=self.shard_task_map,
+            engine_runner=self._engine_runner(service),
+        )
         if prepared.work is None:
             return (prepared, None)
 
@@ -316,13 +335,63 @@ class ThreadPoolBackend(ExecutionBackend):
         return service._finalize(prepared, execution, wall_elapsed=wall_elapsed)
 
 
+class ProcessPoolBackend(ThreadPoolBackend):
+    """GIL-free concurrency: engine work runs in worker *processes*.
+
+    The orchestration is byte-for-byte the threaded backend's — the same
+    virtual-time event loop, the same request thread pool (a thread still
+    hosts each in-flight request so the drain loop can overlap and resolve
+    them) — but the work closure of every plan-aware software execution is
+    shipped to a ``ProcessPoolExecutor`` via :mod:`repro.service.shm`:
+    cached tries are exported once as shared-memory segments in the PR 7
+    layout, workers attach their int64 levels zero-copy
+    (``memoryview.cast('q')``), and the picklable request carries the
+    pickled engine + plan + segment handles.  Pure-Python engine loops then
+    genuinely overlap on host cores instead of serialising on the GIL.
+
+    Executions that cannot ship faithfully (plan-blind engines, boxed
+    tries, a crashed worker pool) silently run the inline path instead, so
+    every observable stays bit-identical to :class:`VirtualTimeBackend`
+    either way; ``tests/test_service_process_backend.py`` pins the
+    equivalence and the segment lifecycle (all blocks unlinked by
+    :meth:`close`, even after a worker crash mid-drain).
+    """
+
+    name = "process"
+
+    def __init__(self, workers: int = 4, shard_workers: Optional[int] = None):
+        super().__init__(workers=workers, shard_workers=shard_workers)
+        # Imported lazily at class-construction time (not module import) so
+        # repro.service stays importable on platforms without POSIX shm.
+        from repro.service.shm import SharedMemoryRunner
+
+        self._runner = SharedMemoryRunner(workers=self.workers)
+
+    def _engine_runner(self, service: "QueryService"):
+        # First dispatch of a drain: bind on the orchestrator thread, before
+        # any request thread exists, so a fork start point is clean.
+        self._runner.bind(service.database)
+        return self._runner
+
+    def active_segments(self):
+        """Names of the currently exported shared-memory blocks (sorted)."""
+        return self._runner.active_segments()
+
+    def close(self) -> None:
+        super().close()
+        self._runner.close()
+
+
 #: Execution-backend registry used by ``QueryService(backend=...)`` and the
 #: CLI's ``workload --backend`` flag.
 EXECUTION_BACKENDS: Dict[str, Callable[..., ExecutionBackend]] = {
     "virtual": lambda workers=None: VirtualTimeBackend(),
     # workers=None means "the default"; explicit invalid counts (0, -1)
-    # must reach ThreadPoolBackend's validation, not be silently replaced.
+    # must reach the pool backends' validation, not be silently replaced.
     "threads": lambda workers=None: ThreadPoolBackend(
+        workers=4 if workers is None else workers
+    ),
+    "process": lambda workers=None: ProcessPoolBackend(
         workers=4 if workers is None else workers
     ),
 }
@@ -360,6 +429,7 @@ __all__ = [
     "EXECUTION_BACKENDS",
     "EXECUTION_BACKEND_NAMES",
     "ExecutionBackend",
+    "ProcessPoolBackend",
     "TaskMap",
     "ThreadPoolBackend",
     "VirtualTimeBackend",

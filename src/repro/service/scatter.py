@@ -229,6 +229,7 @@ class ScatterGatherExecutor:
         task_map: Optional[
             Callable[[Callable[[int], EngineExecution], Sequence[int]], List[EngineExecution]]
         ] = None,
+        engine_runner=None,
     ) -> EngineExecution:
         """Scatter ``query`` over the shards through ``engine`` and gather.
 
@@ -252,6 +253,14 @@ class ScatterGatherExecutor:
         inline).  It must return results in input order; everything ordered
         — cache probes, gather, stats aggregation, partial publication —
         happens in shard order on the calling thread either way.
+
+        ``engine_runner`` (the process backend's
+        :class:`repro.service.shm.SharedMemoryRunner`) gets first claim on
+        the missed shard tasks of plan-aware fan-outs — each shard becomes
+        one shared-memory work request in a worker process.  It declines
+        (returns ``None``) whenever the fan-out cannot ship faithfully,
+        and the ``task_map`` path runs instead; the per-shard executions
+        are bit-identical either way.
         """
         if spec is None:
             spec = self.spec_for(query)
@@ -293,7 +302,22 @@ class ScatterGatherExecutor:
             return engine.execute(spec.query, view)
 
         wall_times: Dict[int, float] = {}
-        if task_map is not None:
+        offloaded = None
+        if engine_runner is not None and plan is not None and to_compute:
+            offloaded = engine_runner.run_shards(
+                engine,
+                spec.query,
+                plan,
+                {shard: self.catalog.shard_view(shard, spec) for shard in to_compute},
+            )
+        if offloaded is not None:
+            executions = {}
+            for shard in to_compute:
+                execution, wall = offloaded[shard]
+                executions[shard] = execution
+                if wall is not None:
+                    wall_times[shard] = wall
+        elif task_map is not None:
             # Per-shard host spans: distinct keys per worker, so the dict
             # writes cannot collide; the serial fan-out records none.
             def timed_run(shard: int) -> EngineExecution:

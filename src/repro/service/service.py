@@ -265,6 +265,7 @@ class QueryService:
         self._next_rotation = 0
         self._last_arrival = 0.0
         self._clock = 0.0
+        self._closed = False
         # Submission state (ids, pending list, last arrival) may be touched
         # from worker threads of a closed-loop driver; the drain lock
         # serialises whole drains so two threads never run the event loop
@@ -390,11 +391,16 @@ class QueryService:
         return self.drain()[request_id]
 
     def close(self) -> None:
-        """Release the execution backend's host resources (worker pools).
+        """Release the execution backend's host resources (worker pools,
+        shared-memory segments).  Idempotent — tear-down paths often close
+        both the session and the service they share a backend with.
 
         A service opened with ``storage_dir=`` also releases its durable
         store's file handles.
         """
+        if self._closed:
+            return
+        self._closed = True
         self.execution_backend.close()
         if self._owns_database:
             self.database.close()
@@ -469,6 +475,7 @@ class QueryService:
         request: ServiceRequest,
         start_time: float,
         task_map: Optional[TaskMap] = None,
+        engine_runner=None,
     ) -> _PreparedRequest:
         """The deterministic dispatch phase of one request.
 
@@ -480,6 +487,12 @@ class QueryService:
         to violate.  The returned ``work`` closure (the engine execution
         itself, or the scatter-gather fan-out) touches no ordered service
         state and may run on any thread.
+
+        ``engine_runner`` (see
+        :class:`repro.service.shm.SharedMemoryRunner`) may take over the
+        pure engine work of plan-aware executions — shipping it to worker
+        processes — and declines by returning ``None``, in which case the
+        inline closure runs unchanged.
         """
         query = request.query
         signature = self.compiler.signature(query)
@@ -545,6 +558,7 @@ class QueryService:
                     spec=scatter_spec,
                     collect_partials=prepared.partial_entries,
                     task_map=task_map,
+                    engine_runner=engine_runner,
                 )
 
             prepared.work = scatter_work
@@ -568,7 +582,17 @@ class QueryService:
                     start_time,
                     {"hit": prepared.plan_cache_hit, "compiled": prepared.compiled},
                 )
-            prepared.work = lambda: backend.execute(canonical, self.database, plan=plan)
+            offloaded = (
+                engine_runner.global_work(backend, canonical, plan, self.database)
+                if engine_runner is not None
+                else None
+            )
+            if offloaded is not None:
+                prepared.work = offloaded
+            else:
+                prepared.work = lambda: backend.execute(
+                    canonical, self.database, plan=plan
+                )
         else:
             # Plan-blind backends (naive, pairwise) plan internally; the
             # plan cache neither helps nor counts for them.

@@ -35,8 +35,11 @@ from repro.storage.segments import (
     SEGMENT_FORMAT_VERSION,
     SegmentInfo,
     TrieSegmentStore,
+    decode_trie_segment,
+    encode_trie_segment,
     read_segment_info,
     read_trie_segment,
+    trie_is_flat,
     write_trie_segment,
 )
 from repro.storage.sqlite_store import (
@@ -63,12 +66,15 @@ __all__ = [
     "TrieSegmentStore",
     "WalCorruptionError",
     "WalRecord",
+    "decode_trie_segment",
     "describe_partitioner",
+    "encode_trie_segment",
     "open_store",
     "read_segment_info",
     "read_trie_segment",
     "restore_partitioner",
     "store_exists",
     "store_info",
+    "trie_is_flat",
     "write_trie_segment",
 ]

@@ -102,12 +102,26 @@ class SegmentInfo:
     file_bytes: int
 
 
-def write_trie_segment(path: str, trie: TrieIndex, shard: Optional[int] = None) -> int:
-    """Serialize ``trie`` to ``path`` atomically; returns the bytes written.
+def trie_is_flat(trie: TrieIndex) -> bool:
+    """Whether every level of ``trie`` is flat int64 storage (not boxed).
 
-    ``shard`` tags which catalog fragment the trie indexes (``None`` for a
-    monolithic/global trie); it is stored in the meta block so a segment
-    directory can be re-attributed without trusting file names.
+    Flat tries serialize to the fast zero-copy payload; boxed tries (values
+    outside the signed 64-bit range) take the portable JSON route and cannot
+    be attached zero-copy from shared memory.
+    """
+    arity = trie.num_levels
+    levels = [trie.level_values(level) for level in range(arity)]
+    offsets = [trie.child_offsets(level) for level in range(max(arity - 1, 0))]
+    return all(_is_flat(level) for level in levels + offsets)
+
+
+def encode_trie_segment(trie: TrieIndex, shard: Optional[int] = None) -> bytes:
+    """Serialize ``trie`` to the segment byte layout (header+meta+payload).
+
+    This is the in-memory form of :func:`write_trie_segment`: the returned
+    bytes are exactly what that function writes to disk, so the same layout
+    serves files, ``mmap`` reloads and ``multiprocessing.shared_memory``
+    exports (see :mod:`repro.service.shm`).
     """
     arity = trie.num_levels
     levels = [trie.level_values(level) for level in range(arity)]
@@ -150,17 +164,24 @@ def write_trie_segment(path: str, trie: TrieIndex, shard: Optional[int] = None) 
         zlib.crc32(payload),
     )
     padding = b"\0" * (_align8(HEADER_SIZE + len(meta_bytes)) - HEADER_SIZE - len(meta_bytes))
+    return b"".join((header, meta_bytes, padding, payload))
 
+
+def write_trie_segment(path: str, trie: TrieIndex, shard: Optional[int] = None) -> int:
+    """Serialize ``trie`` to ``path`` atomically; returns the bytes written.
+
+    ``shard`` tags which catalog fragment the trie indexes (``None`` for a
+    monolithic/global trie); it is stored in the meta block so a segment
+    directory can be re-attributed without trusting file names.
+    """
+    blob = encode_trie_segment(trie, shard=shard)
     os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
     fd, tmp_path = tempfile.mkstemp(
         dir=os.path.dirname(path) or ".", prefix=".segment-", suffix=".tmp"
     )
     try:
         with os.fdopen(fd, "wb") as handle:
-            handle.write(header)
-            handle.write(meta_bytes)
-            handle.write(padding)
-            handle.write(payload)
+            handle.write(blob)
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp_path, path)
@@ -170,7 +191,7 @@ def write_trie_segment(path: str, trie: TrieIndex, shard: Optional[int] = None) 
         except OSError:
             pass
         raise
-    return HEADER_SIZE + len(meta_bytes) + len(padding) + len(payload)
+    return len(blob)
 
 
 def _read_header(path: str, raw: bytes, file_size: int) -> Tuple[Dict, int, bool, int, int, int]:
@@ -257,6 +278,82 @@ def read_segment_info(path: str) -> SegmentInfo:
     )
 
 
+def decode_trie_segment(
+    buffer,
+    source: str = "<memory>",
+    zero_copy: bool = True,
+    validate: bool = False,
+    exact_size: bool = True,
+) -> TrieIndex:
+    """Decode a segment byte buffer into a ready :class:`TrieIndex`.
+
+    ``buffer`` is anything exposing the buffer protocol holding the layout
+    :func:`encode_trie_segment` produces — an ``mmap`` view, a shared-memory
+    block, plain ``bytes``.  ``zero_copy`` (the default) exposes each level
+    as a ``memoryview`` cast to 64-bit words referencing ``buffer`` directly
+    (the buffer must then outlive the trie); ``zero_copy=False`` copies into
+    fresh ``array('q')`` storage.  ``exact_size=False`` tolerates trailing
+    slack beyond the declared segment length — shared-memory blocks are
+    page-rounded, so attachers pass the whole block.  ``source`` names the
+    buffer in error messages.
+    """
+    view = buffer if isinstance(buffer, memoryview) else memoryview(buffer)
+    total = view.nbytes
+    head = bytes(view[: min(total, _align8(HEADER_SIZE + 4096))])
+    if len(head) >= HEADER_SIZE and head[:8] == SEGMENT_MAGIC:
+        fields = _HEADER.unpack_from(head)
+        meta_len, payload_len = fields[6], fields[7]
+        if HEADER_SIZE + meta_len > len(head):  # unusually large meta block
+            head = bytes(view[: min(total, _align8(HEADER_SIZE + meta_len))])
+        if not exact_size:
+            declared = _align8(HEADER_SIZE + meta_len) + payload_len
+            if declared <= total:
+                total = declared
+    meta, num_tuples, boxed, payload_start, payload_len, payload_crc = _read_header(
+        source, head, total
+    )
+    payload = view[payload_start : payload_start + payload_len]
+    if validate and zlib.crc32(payload) != payload_crc:
+        raise SegmentFormatError(
+            f"segment {source}: payload checksum mismatch — data corrupt"
+        )
+
+    if boxed:
+        try:
+            decoded = json.loads(bytes(payload).decode("utf-8"))
+            values = [list(map(int, level)) for level in decoded["values"]]
+            offsets = [list(map(int, level)) for level in decoded["offsets"]]
+        except (UnicodeDecodeError, json.JSONDecodeError, KeyError, TypeError) as error:
+            raise SegmentFormatError(
+                f"segment {source}: boxed payload undecodable ({error})"
+            ) from None
+    else:
+        values, offsets = [], []
+        cursor = 0
+        little = sys.byteorder == "little"
+        for size in meta["level_sizes"] + meta["offset_sizes"]:
+            chunk = payload[cursor : cursor + size * _WORD]
+            cursor += size * _WORD
+            if zero_copy and little:
+                level: Sequence[int] = chunk.cast("q")
+            else:
+                level_array = array("q")
+                level_array.frombytes(bytes(chunk))
+                if not little:  # pragma: no cover - big-endian hosts only
+                    level_array.byteswap()
+                level = level_array
+            (values if len(values) < len(meta["level_sizes"]) else offsets).append(level)
+
+    return TrieIndex.from_flat(
+        meta["relation"],
+        meta["order"],
+        values,
+        offsets,
+        num_tuples,
+        validate=validate,
+    )
+
+
 def read_trie_segment(
     path: str, use_mmap: bool = True, validate: bool = False
 ) -> TrieIndex:
@@ -274,53 +371,12 @@ def read_trie_segment(
     with open(path, "rb") as handle:
         if use_mmap and file_size > 0:
             mapped = mmap(handle.fileno(), 0, access=ACCESS_READ)
-            raw: Sequence[int] = memoryview(mapped)
+            raw = memoryview(mapped)
         else:
             raw = handle.read()
-    meta, num_tuples, boxed, payload_start, payload_len, payload_crc = _read_header(
-        path, bytes(raw[: _align8(HEADER_SIZE + 4096)]), file_size
+    return decode_trie_segment(
+        raw, source=path, zero_copy=use_mmap, validate=validate
     )
-    payload = raw[payload_start : payload_start + payload_len]
-    if validate and zlib.crc32(payload) != payload_crc:
-        raise SegmentFormatError(
-            f"segment {path}: payload checksum mismatch — data corrupt"
-        )
-
-    if boxed:
-        try:
-            decoded = json.loads(bytes(payload).decode("utf-8"))
-            values = [list(map(int, level)) for level in decoded["values"]]
-            offsets = [list(map(int, level)) for level in decoded["offsets"]]
-        except (UnicodeDecodeError, json.JSONDecodeError, KeyError, TypeError) as error:
-            raise SegmentFormatError(
-                f"segment {path}: boxed payload undecodable ({error})"
-            ) from None
-    else:
-        values, offsets = [], []
-        cursor = 0
-        little = sys.byteorder == "little"
-        for size in meta["level_sizes"] + meta["offset_sizes"]:
-            chunk = payload[cursor : cursor + size * _WORD]
-            cursor += size * _WORD
-            if use_mmap and little and isinstance(chunk, memoryview):
-                level: Sequence[int] = chunk.cast("q")
-            else:
-                level_array = array("q")
-                level_array.frombytes(bytes(chunk))
-                if not little:  # pragma: no cover - big-endian hosts only
-                    level_array.byteswap()
-                level = level_array
-            (values if len(values) < len(meta["level_sizes"]) else offsets).append(level)
-
-    trie = TrieIndex.from_flat(
-        meta["relation"],
-        meta["order"],
-        values,
-        offsets,
-        num_tuples,
-        validate=validate,
-    )
-    return trie
 
 
 # --------------------------------------------------------------------------- #
@@ -425,7 +481,10 @@ __all__ = [
     "SegmentInfo",
     "TrieSegmentStore",
     "adopt_segments",
+    "decode_trie_segment",
+    "encode_trie_segment",
     "read_segment_info",
     "read_trie_segment",
+    "trie_is_flat",
     "write_trie_segment",
 ]
