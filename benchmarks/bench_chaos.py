@@ -1,0 +1,73 @@
+"""Chaos serving: latency and recovery under deterministic fault injection.
+
+The benchmark serves the same seeded mixed workload over a 4-shard catalog
+under each fault scenario of :mod:`repro.eval.chaosbench` (fault-free
+baseline, transient retries, a hedged straggler with its unhedged control,
+and a permanent shard outage with and without replicas) and reports:
+
+* host wall-clock serve time as the pytest-benchmark number;
+* the virtual-time p99 latency and recovery window per scenario;
+* the fault-equivalence gate: transient scenarios must reproduce the
+  fault-free results and cache counters exactly, the replicated outage must
+  lose no answers, and degraded answers must be subsets of the fault-free
+  ones.
+
+All faults are scheduled on the service's virtual clock from the harness
+seed (``REPRO_BENCH_SEED``), so every scenario — including "chaos" — is
+identical run-to-run.
+"""
+
+import pytest
+
+from repro.eval.chaosbench import SCENARIOS, _serve_round, _spec, _recovery_ns
+from repro.eval.metrics import percentile
+from repro.service import generate_requests
+
+#: Stream length per scenario.
+NUM_QUERIES = 100
+
+
+@pytest.mark.parametrize(
+    ("name", "faults", "session_kwargs"),
+    SCENARIOS,
+    ids=[name for name, _, _ in SCENARIOS],
+)
+def test_chaos_serving(benchmark, bench_seed, bench_rng, name, faults, session_kwargs):
+    seed = bench_rng.fork(1).seed
+    requests = generate_requests(_spec(NUM_QUERIES), seed=bench_rng.fork(2).seed)
+
+    def serve_stream():
+        return _serve_round(faults, dict(session_kwargs), requests, seed)
+
+    measured = benchmark.pedantic(serve_stream, rounds=1, iterations=1)
+
+    oracle = _serve_round(None, {}, requests, seed)
+    if name in ("fault_free", "transient_retry", "straggler_unhedged",
+                "straggler_hedged", "outage_replica"):
+        # Recoverable faults must be invisible in the answers.
+        assert measured["results"] == oracle["results"]
+        assert measured["degraded_count"] == 0
+    else:
+        # The unrecoverable outage degrades; answers never gain tuples.
+        assert measured["degraded_count"] > 0
+        for rid in measured["degraded_ids"]:
+            assert set(measured["results"][rid]) <= set(oracle["results"][rid])
+    if name == "transient_retry":
+        assert measured["result_cache"] == oracle["result_cache"]
+        assert measured["retries"] > 0
+
+    p99 = percentile(measured["latencies"], 99)
+    recovery = _recovery_ns(measured)
+    print()
+    print(
+        f"scenario={name}: p99 {p99:.1f} ns virtual, recovery window "
+        f"{recovery:.1f} ns, {measured['retries']} retries, "
+        f"{measured['timeouts']} timeouts, {measured['degraded_count']} degraded"
+    )
+
+    benchmark.extra_info["scenario"] = name
+    benchmark.extra_info["faults"] = faults or ""
+    benchmark.extra_info["p99_latency_ns"] = round(p99, 1)
+    benchmark.extra_info["recovery_ns"] = round(recovery, 1)
+    benchmark.extra_info["retries"] = measured["retries"]
+    benchmark.extra_info["degraded"] = measured["degraded_count"]

@@ -11,7 +11,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro",
-    version="1.7.0",
+    version="1.8.0",
     description=(
         "Reproduction of the TrieJax architecture: WCOJ-based graph pattern "
         "matching acceleration (ASPLOS 2020)"

@@ -45,7 +45,7 @@ Quick start::
     print(len(triangles.to_list()), "triangles via", triangles.backend)
 """
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = ["__version__", "ResultSet", "Session", "Statement"]
 

@@ -91,7 +91,9 @@ class EngineExecution:
     count-only aggregation) and therefore must not enter the result cache;
     ``scatter`` carries the per-shard work breakdown
     (:class:`repro.service.scatter.ScatterGatherStats`) when the execution
-    was fanned out over a sharded catalog.
+    was fanned out over a sharded catalog; ``degraded``/``missing_shards``
+    flag a partial answer whose listed shard fragments were unavailable
+    (such an execution is never ``cacheable``).
     """
 
     tuples: List[Tuple[int, ...]]
@@ -103,6 +105,8 @@ class EngineExecution:
     count: Optional[int] = None
     cacheable: bool = True
     scatter: Optional[object] = None
+    degraded: bool = False
+    missing_shards: Tuple[int, ...] = ()
 
     @property
     def cardinality(self) -> int:

@@ -37,6 +37,11 @@ class ExecutionOutcome:
     compiled: bool = False
     scatter: Optional[object] = None
     trace: Optional[object] = None  # finished repro.obs Span, when tracing
+    #: Graceful degradation (see repro.service.faults): a degraded outcome
+    #: is the union of the surviving shard fragments only; ``missing_shards``
+    #: lists the shards whose fragments were unavailable.
+    degraded: bool = False
+    missing_shards: Tuple[int, ...] = ()
 
 
 class ResultSet:
@@ -126,6 +131,21 @@ class ResultSet:
         executions and cache replays.
         """
         return self._force().scatter
+
+    @property
+    def degraded(self) -> bool:
+        """True when the answer is a flagged partial (shard fragments lost).
+
+        Only possible under ``on_shard_loss="partial"`` with an armed fault
+        plan; a degraded result is exactly the union of the surviving shard
+        fragments and is never entered into the result cache.
+        """
+        return self._force().degraded
+
+    @property
+    def missing_shards(self) -> Tuple[int, ...]:
+        """Shards whose fragments are absent from a degraded answer."""
+        return self._force().missing_shards
 
     @property
     def trace(self) -> Optional[object]:

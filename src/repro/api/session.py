@@ -37,6 +37,12 @@ from repro.relational.catalog import Database, MutationEvent
 from repro.relational.query import ConjunctiveQuery
 from repro.relational.sharding import ShardedDatabase, shard_database
 from repro.service.caches import PlanCache, ResultCache
+from repro.service.faults import (
+    FaultInjector,
+    FaultPlan,
+    RetryPolicy,
+    coerce_fault_plan,
+)
 from repro.service.scatter import ScatterGatherExecutor
 from repro.service.service import RESULT_REPLAY_COST
 from repro.util.validation import check_positive
@@ -122,6 +128,20 @@ class Session:
         ``shards``/``partitioner`` to create a durable sharded catalog.
         The session owns the store: :meth:`snapshot` persists, and
         :meth:`close` releases its file handles.
+    faults / on_shard_loss / retry_policy / replication_factor:
+        Fault-tolerance knobs for sharded catalogs (see
+        :mod:`repro.service.faults`).  ``faults`` arms a deterministic
+        fault injector from a :class:`~repro.service.faults.FaultPlan` or a
+        spec string like ``"slow:0*3;down:1@100-inf"``; ``on_shard_loss``
+        selects between raising a typed
+        :class:`~repro.service.faults.ShardUnavailableError` (``"fail"``,
+        default) and returning a flagged partial result (``"partial"`` —
+        see :attr:`ResultSet.degraded`); ``retry_policy`` overrides the
+        default timeout/backoff/hedging/breaker parameters; and
+        ``replication_factor > 1`` stores that many copies of every
+        partitioned fragment on distinct shards so retries can move to a
+        replica.  All four thread through both :meth:`execute` and
+        :meth:`serve`.
     """
 
     def __init__(
@@ -142,9 +162,17 @@ class Session:
         execution_backend=None,
         trace=None,
         storage_dir: Optional[str] = None,
+        faults: Union[FaultPlan, str, None] = None,
+        on_shard_loss: str = "fail",
+        retry_policy: Optional[RetryPolicy] = None,
+        replication_factor: int = 1,
     ):
         if routing not in ("auto", "rotate"):
             raise ValueError(f"routing must be 'auto' or 'rotate', got {routing!r}")
+        if on_shard_loss not in ("fail", "partial"):
+            raise ValueError(
+                f"on_shard_loss must be 'fail' or 'partial', got {on_shard_loss!r}"
+            )
         check_positive("concurrency", concurrency)
         if storage_dir is not None:
             if database is not None:
@@ -165,7 +193,12 @@ class Session:
         if database is None:
             database = Database("session")
         if shards > 1 and not isinstance(database, ShardedDatabase):
-            database = shard_database(database, shards, partitioner=partitioner)
+            database = shard_database(
+                database,
+                shards,
+                partitioner=partitioner,
+                replication_factor=replication_factor,
+            )
         self.database = database
         self.compiler = compiler or QueryCompiler(enable_caching=True)
         self.router = router or CostRouter()
@@ -189,12 +222,27 @@ class Session:
         self._service = None
         self._route_memo: Dict[Tuple[str, str], RouteDecision] = {}
         self._closed = False
+        self.fault_plan = (
+            coerce_fault_plan(faults, seed=seed) if faults is not None else None
+        )
+        self.on_shard_loss = on_shard_loss
+        self.retry_policy = retry_policy
         if isinstance(self.database, ShardedDatabase):
             self._partial_cache: Optional[ResultCache] = ResultCache(
                 result_cache_capacity
             )
+            injector = (
+                FaultInjector(self.fault_plan)
+                if self.fault_plan is not None and not self.fault_plan.empty
+                else None
+            )
             self._scatter: Optional[ScatterGatherExecutor] = ScatterGatherExecutor(
-                self.database, self._partial_cache, compiler=self.compiler
+                self.database,
+                self._partial_cache,
+                compiler=self.compiler,
+                retry_policy=retry_policy,
+                injector=injector,
+                on_shard_loss=on_shard_loss,
             )
             self.database.subscribe_invalidation(self._partial_cache.invalidate)
         else:
@@ -329,7 +377,9 @@ class Session:
                 # Sharded catalog: scatter-gather through the executor
                 # (rewritten plans and per-shard partials live there, so
                 # the session plan cache is bypassed).
-                execution = self._scatter.execute(query, engine, spec=scatter_spec)
+                execution = self._scatter.execute(
+                    query, engine, spec=scatter_spec, now=self._trace_clock
+                )
                 if execution.cacheable:
                     self.result_cache.put_result(
                         signature, execution.tuples, query.relation_names()
@@ -342,6 +392,8 @@ class Session:
                     plan=execution.plan,
                     count=execution.count,
                     scatter=execution.scatter,
+                    degraded=execution.degraded,
+                    missing_shards=execution.missing_shards,
                 )
             plan = None
             plan_cache_hit = False
@@ -489,6 +541,9 @@ class Session:
                 backend=self.execution_backend,
                 workers=self.concurrency,
                 tracer=self.tracer,
+                faults=self.fault_plan,
+                on_shard_loss=self.on_shard_loss,
+                retry_policy=self.retry_policy,
             )
         return self._service
 

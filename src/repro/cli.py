@@ -141,6 +141,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--count-only", action="store_true", help="aggregate mode: count matches, do not enumerate"
     )
+    _add_fault_arguments(run_parser)
     run_parser.add_argument(
         "--show-results", type=int, default=0, metavar="N", help="print the first N result tuples"
     )
@@ -307,6 +308,7 @@ def build_parser() -> argparse.ArgumentParser:
         "ignored; a missing one is initialised from the dataset.  The store "
         "is snapshotted after the stream drains",
     )
+    _add_fault_arguments(workload_parser)
 
     store_parser = subparsers.add_parser(
         "store", help="manage a durable store directory (repro.storage)"
@@ -376,7 +378,8 @@ def build_parser() -> argparse.ArgumentParser:
         "bench", help="run a microbenchmark suite without pytest"
     )
     bench_parser.add_argument(
-        "suite", choices=["kernels", "storage", "concurrency"], help="which suite to run"
+        "suite", choices=["kernels", "storage", "concurrency", "chaos"],
+        help="which suite to run"
     )
     bench_parser.add_argument(
         "--scale", type=float, default=None,
@@ -488,6 +491,42 @@ def _populate_durable_catalog(catalog, args) -> None:
         )
 
 
+def _add_fault_arguments(parser) -> None:
+    """The fault-tolerance flags shared by ``run`` and ``workload``."""
+    parser.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="arm the deterministic fault injector (repro.service.faults) "
+        "with a semicolon-separated spec: slow:NODE*FACTOR[@START-END], "
+        "flaky:NODE@START-END[:PROB], down:NODE[@START[-END]], crash:AFTER "
+        "— e.g. 'slow:0*3;down:1@5000-inf'.  Times are virtual ns; the "
+        "same spec and seed reproduce the same faults on every backend",
+    )
+    parser.add_argument(
+        "--on-shard-loss", default="fail", choices=["fail", "partial"],
+        help="when a shard stays unavailable after every retry: raise a "
+        "typed error (fail), or return a flagged partial answer over the "
+        "surviving shards (partial)",
+    )
+    parser.add_argument(
+        "--replication-factor", type=int, default=1, metavar="R",
+        help="store R copies of every partitioned shard fragment on "
+        "distinct shards, so retries can move to a replica (requires "
+        "--shards >= R)",
+    )
+
+
+def _fault_session_kwargs(args) -> dict:
+    """Session kwargs for the fault flags; {} when all are at defaults."""
+    kwargs = {}
+    if getattr(args, "faults", None):
+        kwargs["faults"] = args.faults
+    if getattr(args, "on_shard_loss", "fail") != "fail":
+        kwargs["on_shard_loss"] = args.on_shard_loss
+    if getattr(args, "replication_factor", 1) != 1:
+        kwargs["replication_factor"] = args.replication_factor
+    return kwargs
+
+
 def _storage_session_kwargs(args) -> dict:
     """Session kwargs for ``--storage-dir``; {} when the flag is unset."""
     if getattr(args, "storage_dir", None):
@@ -501,6 +540,7 @@ def _cmd_run(args) -> int:
     backend_kwargs = dict(
         execution_backend=args.backend,
         concurrency=args.workers if args.backend != "virtual" else 1,
+        **_fault_session_kwargs(args),
     )
     if storage_kwargs:
         from repro.storage import store_exists
@@ -694,6 +734,7 @@ def _cmd_workload(args) -> int:
         execution_backend=args.backend,
         concurrency=args.workers if args.backend != "virtual" else 1,
         trace=bool(args.trace),
+        **_fault_session_kwargs(args),
     )
     if storage_kwargs:
         from repro.storage import store_exists
@@ -919,6 +960,12 @@ def _cmd_bench(args) -> int:
         from repro.eval.concurrencybench import run_concurrency_benchmarks
 
         report = run_concurrency_benchmarks(
+            scale=args.scale, seed=args.seed, repeats=args.repeats, smoke=args.smoke
+        )
+    elif args.suite == "chaos":
+        from repro.eval.chaosbench import run_chaos_benchmarks
+
+        report = run_chaos_benchmarks(
             scale=args.scale, seed=args.seed, repeats=args.repeats, smoke=args.smoke
         )
     else:

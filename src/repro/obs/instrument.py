@@ -63,6 +63,21 @@ def attach_scatter_legs(span: Span, scatter) -> None:
     span.attributes["scatter.shards"] = scatter.num_shards
     span.attributes["scatter.seed_relation"] = scatter.seed_relation
     span.attributes["scatter.seed_partitioned"] = scatter.seed_partitioned
+    # Fault-tolerance outcome (repro.service.faults).  Attributes appear
+    # only when nonzero, so fault-free traces stay byte-identical.
+    retries = getattr(scatter, "retries", 0)
+    timeouts = getattr(scatter, "timeouts", 0)
+    hedges = getattr(scatter, "hedges", 0)
+    missing = getattr(scatter, "missing_shards", ())
+    if retries:
+        span.attributes["scatter.retries"] = retries
+    if timeouts:
+        span.attributes["scatter.timeouts"] = timeouts
+    if hedges:
+        span.attributes["scatter.hedges"] = hedges
+    if missing:
+        span.attributes["scatter.degraded"] = True
+        span.attributes["scatter.missing_shards"] = tuple(missing)
     span.child("scatter_dispatch", start).end(start + dispatch_ns)
     legs_start = start + dispatch_ns
     for task in scatter.tasks:
@@ -77,6 +92,23 @@ def attach_scatter_legs(span: Span, scatter) -> None:
             },
         )
         leg.end(legs_start + task.cost_ns)
+        attempts = getattr(task, "attempts", 1)
+        if attempts > 1:
+            leg.attributes["attempts"] = attempts
+            leg.event(
+                "retried",
+                legs_start,
+                attempts=attempts,
+                timeouts=getattr(task, "timeouts", 0),
+            )
+        if getattr(task, "timeouts", 0):
+            leg.attributes["timeouts"] = task.timeouts
+        if getattr(task, "hedged", False):
+            leg.attributes["hedged"] = True
+        if getattr(task, "replica", 0):
+            leg.attributes["replica"] = task.replica
+        if getattr(task, "lost", False):
+            leg.attributes["lost"] = True
         wall = getattr(task, "wall_seconds", None)
         if wall is not None:
             leg.wall_elapsed_s = wall

@@ -338,6 +338,11 @@ def service_registry(
         "Measured host wall-clock engine spans (threaded backend only).",
         buckets=(0.001, 0.01, 0.1, 1.0, 10.0),
     )
+    faults = registry.counter(
+        "fault_events_total",
+        "Fault-tolerance events of the scatter path (see repro.service.faults).",
+        labels=("kind",),
+    )
     for record in service.metrics.records:
         requests.labels(backend=record.backend, priority=record.priority).inc()
         latency.labels(record.backend).observe(record.latency)
@@ -348,6 +353,16 @@ def service_registry(
             compiles.inc()
         if record.wall_elapsed is not None:
             wall_execution.observe(record.wall_elapsed)
+        if record.retries:
+            faults.labels(kind="retry").inc(record.retries)
+        if record.timeouts:
+            faults.labels(kind="timeout").inc(record.timeouts)
+        if record.degraded:
+            faults.labels(kind="degraded").inc()
+        if record.failed:
+            faults.labels(kind="failed").inc()
+    if service.metrics.inline_fallbacks:
+        faults.labels(kind="inline_fallback").inc(service.metrics.inline_fallbacks)
 
     _cache_counters(registry, "plan", service.plan_cache.stats)
     _cache_counters(registry, "result", service.result_cache.stats)

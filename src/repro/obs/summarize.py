@@ -126,6 +126,54 @@ def critical_path_rows(roots: Sequence[SpanNode]) -> List[Tuple[object, ...]]:
     return rows
 
 
+def fault_rows(roots: Sequence[SpanNode]) -> List[Tuple[object, ...]]:
+    """One row per query that hit fault-tolerance machinery.
+
+    Sums the ``scatter.retries`` / ``scatter.timeouts`` / ``scatter.hedges``
+    attributes the serving stack attaches to execute spans (only when
+    nonzero — see :func:`repro.obs.instrument.attach_scatter_legs`), plus
+    the degraded/failed flags.  Queries with no fault activity produce no
+    row, so fault-free traces summarize without this section.
+    """
+    rows: List[Tuple[object, ...]] = []
+    for root in query_roots(roots):
+        retries = timeouts = hedges = 0
+        missing: Tuple[object, ...] = ()
+        degraded = failed = False
+        for node in root.walk():
+            attrs = node.attributes
+            retries += int(attrs.get("scatter.retries", 0) or 0)
+            timeouts += int(attrs.get("scatter.timeouts", 0) or 0)
+            hedges += int(attrs.get("scatter.hedges", 0) or 0)
+            if attrs.get("scatter.degraded"):
+                degraded = True
+                missing = tuple(attrs.get("scatter.missing_shards", ()) or ())
+            if attrs.get("failed"):
+                failed = True
+                missing = tuple(attrs.get("missing_shards", ()) or ()) or missing
+        if retries or timeouts or hedges or degraded or failed:
+            if failed:
+                outcome = "failed"
+            elif degraded:
+                outcome = "degraded" + (
+                    f" (missing {','.join(str(s) for s in missing)})" if missing else ""
+                )
+            else:
+                outcome = "recovered"
+            rows.append(
+                (
+                    root.trace_id,
+                    root.attributes.get("request_id", ""),
+                    root.attributes.get("query", ""),
+                    retries,
+                    timeouts,
+                    hedges,
+                    outcome,
+                )
+            )
+    return rows
+
+
 def summarize_trace(
     path: str, limit: Optional[int] = None, spans: Optional[Sequence[Dict[str, object]]] = None
 ) -> str:
@@ -175,6 +223,17 @@ def summarize_trace(
         )
     )
 
+    faults = fault_rows(roots)
+    if faults:
+        lines.append("")
+        lines.append(
+            format_table(
+                ["trace", "request", "query", "retries", "timeouts", "hedges", "outcome"],
+                faults,
+                title="fault tolerance",
+            )
+        )
+
     rows = critical_path_rows(roots)
     rows.sort(key=lambda row: -float(row[3]))
     if limit is not None:
@@ -199,6 +258,7 @@ __all__ = [
     "build_trace_trees",
     "critical_path",
     "critical_path_rows",
+    "fault_rows",
     "phase_breakdown",
     "query_roots",
     "summarize_trace",

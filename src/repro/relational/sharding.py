@@ -199,18 +199,26 @@ class ShardView:
     their tries are shared across all shard tasks.
     """
 
-    def __init__(self, sharded: "ShardedDatabase", shard_index: int, spec: ScatterSpec):
+    def __init__(
+        self,
+        sharded: "ShardedDatabase",
+        shard_index: int,
+        spec: ScatterSpec,
+        replica: int = 0,
+    ):
         self.sharded = sharded
         self.shard_index = shard_index
         self.spec = spec
-        self.name = f"{sharded.name}.view{shard_index}"
+        self.replica = replica
+        suffix = f".r{replica}" if replica else ""
+        self.name = f"{sharded.name}.view{shard_index}{suffix}"
 
     def _is_alias(self, name: str) -> bool:
         return name == self.spec.alias
 
     def relation(self, name: str) -> Relation:
         if self._is_alias(name):
-            return self.sharded.shard_relation(self.spec.seed_relation, self.shard_index)
+            return self._seed_database().relation(self.spec.seed_relation)
         return self.sharded.relation(name)
 
     def relation_names(self) -> Tuple[str, ...]:
@@ -242,7 +250,9 @@ class ShardView:
     def _seed_database(self) -> Database:
         """The database holding this task's seed fragment (trie cache included)."""
         if self.spec.partitioned:
-            return self.sharded.shard_databases[self.shard_index]
+            return self.sharded.shard_replica_database(
+                self.spec.seed_relation, self.shard_index, self.replica
+            )
         return self.sharded.global_database
 
     def total_tuples(self) -> int:
@@ -276,6 +286,13 @@ class ShardedDatabase:
     replicate_threshold:
         Relations registered with at most this many tuples are replicated
         (broadcast) instead of partitioned.  ``0`` partitions everything.
+    replication_factor:
+        Copies kept of every *partitioned* fragment.  Replica ``r`` of
+        fragment ``i`` lives on node ``(i + r) % num_shards``, so losing
+        one node leaves every fragment reachable when the factor is >= 2.
+        ``1`` (the default) keeps only the primary — no fault tolerance,
+        no extra memory.  The scatter executor retries a failed shard task
+        on the next replica in this placement order.
     """
 
     def __init__(
@@ -285,17 +302,39 @@ class ShardedDatabase:
         partitioner: Union[str, Callable[[int], object]] = "hash",
         shard_attributes: Optional[Mapping[str, str]] = None,
         replicate_threshold: int = 0,
+        replication_factor: int = 1,
     ):
         check_positive("num_shards", num_shards)
+        if not isinstance(replicate_threshold, int) or replicate_threshold < 0:
+            raise ValueError(
+                f"replicate_threshold must be a non-negative tuple count, got "
+                f"{replicate_threshold!r}; use 0 to partition every relation"
+            )
+        if not isinstance(replication_factor, int) or replication_factor < 1:
+            raise ValueError(
+                f"replication_factor must be an integer >= 1, got "
+                f"{replication_factor!r}; 1 means primaries only (no replicas)"
+            )
+        if replication_factor > num_shards:
+            raise ValueError(
+                f"replication_factor {replication_factor} exceeds num_shards "
+                f"{num_shards}: each replica of a fragment must live on a "
+                f"distinct node; lower the factor or add shards"
+            )
         self.name = name
         self.num_shards = num_shards
         self.partitioner_kind = partitioner
         self.replicate_threshold = replicate_threshold
+        self.replication_factor = replication_factor
         self._shard_attributes: Dict[str, str] = dict(shard_attributes or {})
         self._global = Database(f"{name}.global")
         self._shards: Tuple[Database, ...] = tuple(
             Database(f"{name}.shard{i}") for i in range(num_shards)
         )
+        #: Replica fragment stores, keyed ``(relation, shard, replica >= 1)``.
+        #: Each is a lightweight Database holding one fragment copy with its
+        #: own trie cache, standing in for the fragment's host node.
+        self._replicas: Dict[Tuple[str, int, int], Database] = {}
         self._partitioners: Dict[str, object] = {}
         self._shard_positions: Dict[str, int] = {}
         self._replicated: Set[str] = set()
@@ -329,6 +368,8 @@ class ShardedDatabase:
         self._replicated.discard(relation.name)
         self._partitioners.pop(relation.name, None)
         self._shard_positions.pop(relation.name, None)
+        for key in [k for k in self._replicas if k[0] == relation.name]:
+            del self._replicas[key]
         for shard in self._shards:
             if relation.name in shard:
                 shard.replace_relation(Relation(relation.name, relation.schema))
@@ -366,6 +407,7 @@ class ShardedDatabase:
         self._shard_positions[relation.name] = position
         for shard, fragment in zip(self._shards, fragments):
             shard.add_relation(fragment)
+        self._build_replicas(relation.name)
         self._notify(
             MutationEvent(relation.name, shard=None, delta=relation.cardinality, kind="define")
         )
@@ -395,6 +437,29 @@ class ShardedDatabase:
                 shard.replace_relation(fragment)
             else:
                 shard.add_relation(fragment)
+        self._build_replicas(relation.name)
+
+    def _build_replicas(self, name: str) -> None:
+        """Copy ``name``'s fragments onto their replica nodes.
+
+        Replica ``r`` of fragment ``i`` lands on node ``(i + r) %
+        num_shards`` as a standalone Database, so a replica read builds and
+        caches its own tries — exactly what a fragment copy on another
+        node would do.  No-op at the default ``replication_factor=1``.
+        """
+        for shard in range(self.num_shards):
+            fragment = self._shards[shard].relation(name)
+            for r in range(1, self.replication_factor):
+                key = (name, shard, r)
+                replica = self._replicas.get(key)
+                if replica is None:
+                    replica = Database(f"{self.name}.shard{shard}.r{r}")
+                    self._replicas[key] = replica
+                copy = Relation(name, fragment.schema, fragment.sorted_rows())
+                if name in replica:
+                    replica.replace_relation(copy)
+                else:
+                    replica.add_relation(copy)
 
     # ------------------------------------------------------------------ #
     # Catalog read surface (delegates to the merged global view)
@@ -464,6 +529,31 @@ class ShardedDatabase:
             return self._global.relation(name)
         return self._shards[shard].relation(name)
 
+    def replica_nodes(self, name: str, shard: int) -> Tuple[int, ...]:
+        """Nodes hosting ``name``'s fragment ``shard``, primary first.
+
+        Replica ``r`` lives on node ``(shard + r) % num_shards``; a
+        replicated (broadcast) relation reads locally on every node, so
+        its only entry is the shard itself.
+        """
+        if name in self._replicated:
+            return (shard,)
+        return tuple(
+            (shard + r) % self.num_shards for r in range(self.replication_factor)
+        )
+
+    def shard_replica_database(self, name: str, shard: int, replica: int) -> Database:
+        """The Database holding replica ``replica`` of ``name``'s fragment ``shard``."""
+        if replica == 0:
+            return self._shards[shard]
+        try:
+            return self._replicas[(name, shard, replica)]
+        except KeyError:
+            raise ValueError(
+                f"relation {name!r} has no replica {replica} of shard {shard}; "
+                f"replication_factor is {self.replication_factor}"
+            ) from None
+
     def shard_cardinalities(self, name: str) -> Tuple[int, ...]:
         """Per-shard fragment sizes of ``name`` (full size per shard if replicated)."""
         return tuple(
@@ -473,7 +563,12 @@ class ShardedDatabase:
 
     def describe(self) -> str:
         """Human-readable shard layout (used by the CLI)."""
-        lines = [f"catalog {self.name!r}: {self.num_shards} shard(s)"]
+        replication = (
+            f", replication x{self.replication_factor}"
+            if self.replication_factor > 1
+            else ""
+        )
+        lines = [f"catalog {self.name!r}: {self.num_shards} shard(s){replication}"]
         for name in self.relation_names():
             if self.is_replicated(name):
                 lines.append(
@@ -516,6 +611,10 @@ class ShardedDatabase:
             # Fragments partition the global relation under the same
             # routing function, so new-in-fragment == new-in-global.
             delta = self._shards[shard].insert_into(relation_name, by_shard[shard])
+            for r in range(1, self.replication_factor):
+                self._replicas[(relation_name, shard, r)].insert_into(
+                    relation_name, by_shard[shard]
+                )
             inserted_total += delta
             self._notify(MutationEvent(relation_name, shard=shard, delta=delta))
         self._global.insert_into(relation_name, normalized)
@@ -575,9 +674,13 @@ class ShardedDatabase:
             partitioned=self.is_partitioned(seed.relation),
         )
 
-    def shard_view(self, shard: int, spec: ScatterSpec) -> ShardView:
-        """The catalog view shard ``shard``'s scatter task executes against."""
-        return ShardView(self, shard, spec)
+    def shard_view(self, shard: int, spec: ScatterSpec, replica: int = 0) -> ShardView:
+        """The catalog view shard ``shard``'s scatter task executes against.
+
+        ``replica`` selects which copy of the seed fragment the task reads
+        (0 is the primary); the fragment contents are identical either way.
+        """
+        return ShardView(self, shard, spec, replica=replica)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (
@@ -593,6 +696,7 @@ def shard_database(
     shard_attributes: Optional[Mapping[str, str]] = None,
     replicate_threshold: int = 0,
     name: Optional[str] = None,
+    replication_factor: int = 1,
 ) -> ShardedDatabase:
     """Re-partition an existing monolithic ``database`` into N shards.
 
@@ -605,6 +709,7 @@ def shard_database(
         partitioner=partitioner,
         shard_attributes=shard_attributes,
         replicate_threshold=replicate_threshold,
+        replication_factor=replication_factor,
     )
     for relation_name in database.relation_names():
         source = database.relation(relation_name)

@@ -75,6 +75,23 @@ from repro.service.engines import (
     SoftwareBackend,
     create_backend,
 )
+from repro.service.faults import (
+    CircuitBreaker,
+    FaultInjector,
+    FaultPlan,
+    NodeBreakers,
+    OutageFault,
+    RetryPolicy,
+    ShardUnavailableError,
+    SlowdownFault,
+    TaskAttempt,
+    TaskSchedule,
+    TransientFault,
+    WorkerCrashFault,
+    coerce_fault_plan,
+    parse_fault_spec,
+    schedule_task,
+)
 from repro.service.metrics import QueryRecord, ServiceMetrics
 from repro.service.scatter import (
     PARTIAL_REPLAY_COST_NS,
@@ -123,6 +140,21 @@ __all__ = [
     "BackendExecution",
     "SoftwareBackend",
     "create_backend",
+    "CircuitBreaker",
+    "FaultInjector",
+    "FaultPlan",
+    "NodeBreakers",
+    "OutageFault",
+    "RetryPolicy",
+    "ShardUnavailableError",
+    "SlowdownFault",
+    "TaskAttempt",
+    "TaskSchedule",
+    "TransientFault",
+    "WorkerCrashFault",
+    "coerce_fault_plan",
+    "parse_fault_spec",
+    "schedule_task",
     "QueryRecord",
     "ServiceMetrics",
     "PARTIAL_REPLAY_COST_NS",

@@ -109,6 +109,16 @@ class ExecutionBackend(abc.ABC):
     def close(self) -> None:
         """Release any host resources (worker pools).  Idempotent."""
 
+    @property
+    def inline_fallbacks(self) -> int:
+        """Engine executions that ran inline after a worker pool broke.
+
+        Zero for every backend without a worker-process pool; the process
+        backend reports its runner's counter (see
+        :class:`repro.service.shm.SharedMemoryRunner`).
+        """
+        return 0
+
     # ------------------------------------------------------------------ #
     # The shared deterministic event loop
     # ------------------------------------------------------------------ #
@@ -376,6 +386,10 @@ class ProcessPoolBackend(ThreadPoolBackend):
     def active_segments(self):
         """Names of the currently exported shared-memory blocks (sorted)."""
         return self._runner.active_segments()
+
+    @property
+    def inline_fallbacks(self) -> int:
+        return self._runner.inline_fallbacks
 
     def close(self) -> None:
         super().close()

@@ -48,6 +48,14 @@ class QueryRecord:
     plan_cache_hit: bool
     compiled: bool
     wall_elapsed: Optional[float] = None
+    #: Fault-tolerance outcome (see repro.service.faults): how many scatter
+    #: attempts beyond the first the request burned, how many of those timed
+    #: out, whether the answer is a flagged partial (missing shards), and
+    #: whether the request failed outright (on_shard_loss="fail").
+    retries: int = 0
+    timeouts: int = 0
+    degraded: bool = False
+    failed: bool = False
 
     @property
     def queue_wait(self) -> float:
@@ -72,6 +80,9 @@ class ServiceMetrics:
 
     records: List[QueryRecord] = field(default_factory=list)
     wall_drain_seconds: float = 0.0
+    #: Engine executions that fell back inline after the process pool broke
+    #: (mirrored from the execution backend at drain time; 0 elsewhere).
+    inline_fallbacks: int = 0
 
     def record(self, record: QueryRecord) -> None:
         self.records.append(record)
@@ -157,6 +168,22 @@ class ServiceMetrics:
         """How many requests paid a fresh compilation."""
         return sum(1 for r in self.records if r.compiled)
 
+    def total_retries(self) -> int:
+        """Scatter attempts beyond the first, summed over all requests."""
+        return sum(r.retries for r in self.records)
+
+    def total_timeouts(self) -> int:
+        """Per-task timeouts, summed over all requests."""
+        return sum(r.timeouts for r in self.records)
+
+    def degraded_results(self) -> int:
+        """Requests answered with a flagged partial (missing shards)."""
+        return sum(1 for r in self.records if r.degraded)
+
+    def failed_requests(self) -> int:
+        """Requests that failed outright on unrecoverable shard loss."""
+        return sum(1 for r in self.records if r.failed)
+
     def by_backend(self) -> Dict[str, List[QueryRecord]]:
         groups: Dict[str, List[QueryRecord]] = {}
         for record in self.records:
@@ -221,6 +248,18 @@ class ServiceMetrics:
             lines.append(
                 f"host drain time      : {self.wall_drain_seconds:.3f} s wall "
                 f"({self.wall_throughput():.1f} requests/s)"
+            )
+        retries, timeouts = self.total_retries(), self.total_timeouts()
+        degraded, failed = self.degraded_results(), self.failed_requests()
+        if retries or timeouts or degraded or failed:
+            lines.append(
+                f"fault tolerance      : {retries} retries, {timeouts} "
+                f"timeouts, {degraded} degraded, {failed} failed"
+            )
+        if self.inline_fallbacks:
+            lines.append(
+                f"inline fallbacks     : {self.inline_fallbacks} engine "
+                f"execution(s) ran inline after the process pool broke"
             )
         wall = self.wall_execution_summary()
         if wall["count"]:

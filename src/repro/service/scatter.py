@@ -56,6 +56,13 @@ from repro.relational.sharding import (
     ShardedDatabase,
 )
 from repro.service.caches import ResultCache, ShardDependency
+from repro.service.faults import (
+    FaultInjector,
+    NodeBreakers,
+    RetryPolicy,
+    ShardUnavailableError,
+    schedule_task,
+)
 
 #: Virtual-time cost of replaying one shard's partial result from the cache.
 PARTIAL_REPLAY_COST_NS = 1.0
@@ -70,6 +77,13 @@ class ShardTaskStats:
     ``task_map`` (``None`` for the serial fan-out and for cache replays) —
     virtual runs stay free of host timings so their traces are
     byte-reproducible.
+
+    The fault-tolerance fields describe the task's deterministic attempt
+    walk (see :func:`repro.service.faults.schedule_task`): how many
+    attempts it burned, how many of those timed out, whether a hedged
+    duplicate dispatch won, which replica finally served it, and — for a
+    ``lost`` task — that no replica could, in which case ``tuples`` is 0
+    and ``cost_ns`` is the virtual time burned before giving up.
     """
 
     shard: int
@@ -78,6 +92,15 @@ class ShardTaskStats:
     from_cache: bool
     fragment_cardinality: int
     wall_seconds: Optional[float] = None
+    attempts: int = 1
+    timeouts: int = 0
+    hedged: bool = False
+    replica: int = 0
+    lost: bool = False
+
+    @property
+    def retries(self) -> int:
+        return max(0, self.attempts - 1)
 
 
 @dataclass(frozen=True)
@@ -87,6 +110,11 @@ class ScatterGatherStats:
     Surfaced as ``ResultSet.shard_stats`` so callers can see how the fan-out
     balanced: which shards computed, which replayed cached partials, and how
     much the gather step merged away.
+
+    ``missing_shards`` names the shards whose fragments are absent from the
+    merged result (``degraded`` is its truthiness); ``attempt_outcomes``
+    carries ``(node, ok)`` per attempt for circuit-breaker observation at
+    the request's completion event.
     """
 
     seed_relation: str
@@ -95,6 +123,8 @@ class ScatterGatherStats:
     merged_tuples: int
     duplicates_removed: int
     merge_cost_ns: float
+    missing_shards: Tuple[int, ...] = ()
+    attempt_outcomes: Tuple[Tuple[int, bool], ...] = ()
 
     @property
     def num_shards(self) -> int:
@@ -109,6 +139,26 @@ class ScatterGatherStats:
     def critical_path_ns(self) -> float:
         return max((task.cost_ns for task in self.tasks), default=0.0)
 
+    @property
+    def degraded(self) -> bool:
+        return bool(self.missing_shards)
+
+    @property
+    def retries(self) -> int:
+        return sum(task.retries for task in self.tasks)
+
+    @property
+    def timeouts(self) -> int:
+        return sum(task.timeouts for task in self.tasks)
+
+    @property
+    def hedges(self) -> int:
+        return sum(1 for task in self.tasks if task.hedged)
+
+    @property
+    def lost_shards(self) -> Tuple[int, ...]:
+        return tuple(task.shard for task in self.tasks if task.lost)
+
     def describe(self) -> str:
         lines = [
             (
@@ -118,7 +168,18 @@ class ScatterGatherStats:
             )
         ]
         for task in self.tasks:
-            source = "cache replay" if task.from_cache else "computed"
+            if task.lost:
+                source = f"LOST after {task.attempts} attempt(s)"
+            elif task.from_cache:
+                source = "cache replay"
+            else:
+                source = "computed"
+                if task.retries:
+                    source += f", {task.retries} retr{'ies' if task.retries != 1 else 'y'}"
+                if task.replica:
+                    source += f", replica {task.replica}"
+                if task.hedged:
+                    source += ", hedged"
             lines.append(
                 f"  shard {task.shard}: {task.tuples} tuples from "
                 f"{task.fragment_cardinality} fragment rows, "
@@ -129,6 +190,10 @@ class ScatterGatherStats:
             f"{self.duplicates_removed} duplicates removed, "
             f"~{self.merge_cost_ns:.0f} ns"
         )
+        if self.missing_shards:
+            lines.append(
+                f"  DEGRADED: missing shard(s) {list(self.missing_shards)}"
+            )
         return "\n".join(lines)
 
 
@@ -171,6 +236,18 @@ class ScatterGatherExecutor:
     compiler:
         Query compiler used for the rewritten scatter queries (plan-aware
         engines only).
+    retry_policy:
+        Timeout/backoff/hedging/breaker knobs for the fault-tolerant path
+        (defaults to :class:`~repro.service.faults.RetryPolicy`).
+    injector:
+        A :class:`~repro.service.faults.FaultInjector`.  Its presence is
+        what arms the fault-tolerant attempt walk; ``None`` (the default)
+        keeps the exact fault-free execution path.
+    on_shard_loss:
+        ``"fail"`` raises :class:`~repro.service.faults.ShardUnavailableError`
+        when a shard's fragment cannot be computed on any replica;
+        ``"partial"`` returns the surviving fragments' union, flagged
+        degraded and barred from the result cache.
     """
 
     def __init__(
@@ -178,10 +255,21 @@ class ScatterGatherExecutor:
         catalog: ShardedDatabase,
         partial_cache: Optional[ResultCache] = None,
         compiler: Optional[QueryCompiler] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        injector: Optional[FaultInjector] = None,
+        on_shard_loss: str = "fail",
     ):
         self.catalog = catalog
         self.partial_cache = partial_cache
         self.compiler = compiler or QueryCompiler(enable_caching=True)
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.injector = injector
+        if on_shard_loss not in ("fail", "partial"):
+            raise ValueError(
+                f"on_shard_loss must be 'fail' or 'partial', got {on_shard_loss!r}"
+            )
+        self.on_shard_loss = on_shard_loss
+        self.breakers = NodeBreakers(self.retry_policy)
         # Rewritten plans by (canonical signature, seed index): pure query
         # structure, shared by every shard and never invalidated by data.
         # Locked: concurrent requests may compile the same signature from
@@ -189,6 +277,57 @@ class ScatterGatherExecutor:
         # only avoids duplicate work and a torn check-then-insert.
         self._plan_memo: Dict[Tuple[str, int], JoinPlan] = {}
         self._plan_lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # Fault tolerance
+    # ------------------------------------------------------------------ #
+    @property
+    def fault_tolerant(self) -> bool:
+        """Whether the attempt-walk path is armed (an injector is present)."""
+        return self.injector is not None
+
+    def configure_faults(
+        self,
+        injector: Optional[FaultInjector] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        on_shard_loss: Optional[str] = None,
+    ) -> None:
+        """Arm or re-arm fault tolerance on an existing executor.
+
+        Used by :class:`~repro.service.service.QueryService` when it is
+        handed a pre-built executor (the :class:`~repro.api.session.Session`
+        path) together with fault knobs of its own.
+        """
+        if retry_policy is not None:
+            self.retry_policy = retry_policy
+            self.breakers = NodeBreakers(retry_policy)
+        if injector is not None:
+            self.injector = injector
+        if on_shard_loss is not None:
+            if on_shard_loss not in ("fail", "partial"):
+                raise ValueError(
+                    f"on_shard_loss must be 'fail' or 'partial', got {on_shard_loss!r}"
+                )
+            self.on_shard_loss = on_shard_loss
+
+    def breaker_gate(self, now: float) -> Optional[Dict[int, bool]]:
+        """Per-node breaker admission at virtual ``now`` (None when unarmed).
+
+        Called on the orchestrator thread at *dispatch*, so pooled backends
+        see the same admission decisions as the virtual-time oracle.
+        """
+        if not self.fault_tolerant:
+            return None
+        return self.breakers.gate(range(self.catalog.num_shards), now)
+
+    def observe_attempts(self, stats: ScatterGatherStats, now: float) -> None:
+        """Feed an execution's attempt outcomes to the breakers at ``now``.
+
+        Called at the request's *completion* event (orchestrator thread,
+        virtual-time order) — never from worker threads.
+        """
+        if stats.attempt_outcomes:
+            self.breakers.observe(stats.attempt_outcomes, now)
 
     def spec_for(self, query: ConjunctiveQuery) -> Optional[ScatterSpec]:
         """The catalog's scatter spec for ``query`` (``None`` = run globally)."""
@@ -230,6 +369,8 @@ class ScatterGatherExecutor:
             Callable[[Callable[[int], EngineExecution], Sequence[int]], List[EngineExecution]]
         ] = None,
         engine_runner=None,
+        now: float = 0.0,
+        breaker_gate: Optional[Dict[int, bool]] = None,
     ) -> EngineExecution:
         """Scatter ``query`` over the shards through ``engine`` and gather.
 
@@ -261,6 +402,22 @@ class ScatterGatherExecutor:
         (returns ``None``) whenever the fan-out cannot ship faithfully,
         and the ``task_map`` path runs instead; the per-shard executions
         are bit-identical either way.
+
+        **Fault tolerance.**  With an armed injector, ``now`` is the
+        request's virtual dispatch time and every computed shard's single
+        engine execution is layered under a deterministic attempt walk
+        (:func:`repro.service.faults.schedule_task`): failed attempts,
+        backoffs, hedges and the final success or give-up are pure
+        virtual-cost events, so a recoverable fault schedule yields
+        byte-identical results/stats/caches to the fault-free run.  A task
+        whose walk gives up is *lost*: its execution is discarded entirely
+        (no tuples, no JoinStats, no partial-cache entry), and the gather
+        step either raises :class:`ShardUnavailableError`
+        (``on_shard_loss="fail"``) or returns the surviving union flagged
+        degraded and non-cacheable.  ``breaker_gate`` is the per-node
+        circuit-breaker admission computed at dispatch; when ``None`` and
+        faults are armed, the executor gates and observes its own breakers
+        inline (the sequential :class:`~repro.api.session.Session` path).
         """
         if spec is None:
             spec = self.spec_for(query)
@@ -268,6 +425,10 @@ class ScatterGatherExecutor:
             return self._execute_global(query, engine)
         signature = self.compiler.signature(query)
         plan = self._plan_for(signature, spec) if engine.plan_aware else None
+        injector = self.injector
+        own_gate = injector is not None and breaker_gate is None
+        if own_gate:
+            breaker_gate = self.breakers.gate(range(self.catalog.num_shards), now)
 
         tasks: List[ShardTaskStats] = []
         partials: List[List[Tuple[int, ...]]] = []
@@ -295,8 +456,28 @@ class ScatterGatherExecutor:
                 to_compute.append(shard)
 
         # Phase 2 — run the missed shard tasks, possibly on a worker pool.
+        # With faults armed, each task reads the first replica whose node is
+        # live at dispatch (fragment copies are identical, so the bytes are
+        # the same as the primary's); whether the task *survives* is decided
+        # by the attempt walk in phase 3, and a lost task's execution is
+        # discarded there.
+        read_replica: Dict[int, int] = {}
+        if injector is not None:
+            for shard in to_compute:
+                nodes = self.catalog.replica_nodes(spec.seed_relation, shard)
+                read_replica[shard] = next(
+                    (
+                        r
+                        for r, node in enumerate(nodes)
+                        if not injector.is_down(node, now)
+                    ),
+                    0,
+                )
+
         def run_shard(shard: int) -> EngineExecution:
-            view = self.catalog.shard_view(shard, spec)
+            view = self.catalog.shard_view(
+                shard, spec, replica=read_replica.get(shard, 0)
+            )
             if plan is not None:
                 return engine.execute(spec.query, view, plan=plan)
             return engine.execute(spec.query, view)
@@ -308,7 +489,12 @@ class ScatterGatherExecutor:
                 engine,
                 spec.query,
                 plan,
-                {shard: self.catalog.shard_view(shard, spec) for shard in to_compute},
+                {
+                    shard: self.catalog.shard_view(
+                        shard, spec, replica=read_replica.get(shard, 0)
+                    )
+                    for shard in to_compute
+                },
             )
         if offloaded is not None:
             executions = {}
@@ -331,6 +517,7 @@ class ScatterGatherExecutor:
             executions = {shard: run_shard(shard) for shard in to_compute}
 
         # Phase 3 — gather in shard order (identical to the serial fan-out).
+        attempt_outcomes: List[Tuple[int, bool]] = []
         for shard in range(self.catalog.num_shards):
             fragment_size = fragment_sizes[shard]
             if shard in replayed:
@@ -342,6 +529,38 @@ class ScatterGatherExecutor:
                 replayed_lengths.append(len(cached))
                 continue
             execution = executions[shard]
+            schedule = None
+            if injector is not None:
+                schedule = schedule_task(
+                    shard,
+                    self.catalog.replica_nodes(spec.seed_relation, shard),
+                    execution.cost,
+                    now,
+                    signature,
+                    self.retry_policy,
+                    injector,
+                    breaker_gate,
+                )
+                attempt_outcomes.extend(schedule.outcomes)
+                if not schedule.ok:
+                    # Lost shard: the execution is discarded wholesale — no
+                    # tuples, no stats, no partial-cache entry — so a
+                    # degraded result is exactly the surviving union.
+                    tasks.append(
+                        ShardTaskStats(
+                            shard,
+                            0,
+                            schedule.cost_ns,
+                            False,
+                            fragment_size,
+                            attempts=len(schedule.attempts),
+                            timeouts=schedule.timeouts,
+                            hedged=schedule.hedged,
+                            lost=True,
+                        )
+                    )
+                    partials.append([])
+                    continue
             computed_any = True
             plan_used = plan_used or execution.plan_used
             cacheable = cacheable and execution.cacheable
@@ -359,10 +578,14 @@ class ScatterGatherExecutor:
                 ShardTaskStats(
                     shard,
                     execution.cardinality,
-                    execution.cost,
+                    schedule.cost_ns if schedule is not None else execution.cost,
                     False,
                     fragment_size,
                     wall_seconds=wall_times.get(shard),
+                    attempts=len(schedule.attempts) if schedule is not None else 1,
+                    timeouts=schedule.timeouts if schedule is not None else 0,
+                    hedged=schedule.hedged if schedule is not None else False,
+                    replica=schedule.replica if schedule is not None else 0,
                 )
             )
             partials.append(execution.tuples)
@@ -396,6 +619,16 @@ class ScatterGatherExecutor:
             + max((task.cost_ns for task in tasks), default=0.0)
             + merge_cost
         )
+        # Degradation contract.  A lost fragment of a partitioned seed is
+        # missing from the union; a replicated-seed fan-out computes the full
+        # result on every task, so it only degrades when *every* task is lost.
+        lost = tuple(task.shard for task in tasks if task.lost)
+        if spec.partitioned:
+            missing = lost
+        else:
+            missing = lost if len(lost) == len(tasks) else ()
+        if missing:
+            cacheable = False
         scatter_stats = ScatterGatherStats(
             seed_relation=spec.seed_relation,
             seed_partitioned=spec.partitioned,
@@ -403,7 +636,25 @@ class ScatterGatherExecutor:
             merged_tuples=len(merged),
             duplicates_removed=duplicates_removed,
             merge_cost_ns=merge_cost,
+            missing_shards=missing,
+            attempt_outcomes=tuple(attempt_outcomes),
         )
+        if own_gate:
+            # Sequential caller: the execution is complete here, so observing
+            # at `now + cost` is the same deterministic point the service
+            # uses (the request's completion event).
+            self.observe_attempts(scatter_stats, now + cost)
+        if missing and self.on_shard_loss == "fail":
+            error = ShardUnavailableError(
+                spec.seed_relation,
+                missing,
+                sum(task.attempts for task in tasks if task.lost),
+                cost,
+            )
+            # Carry the breakdown so the service can still feed the
+            # breakers and trace the failed fan-out at completion.
+            error.scatter = scatter_stats
+            raise error
         return EngineExecution(
             tuples=merged,
             cost=cost,
@@ -413,6 +664,8 @@ class ScatterGatherExecutor:
             count=count,
             cacheable=cacheable,
             scatter=scatter_stats,
+            degraded=bool(missing),
+            missing_shards=missing,
         )
 
     def _execute_global(
@@ -450,5 +703,6 @@ __all__ = [
     "ScatterGatherExecutor",
     "ScatterGatherStats",
     "ShardTaskStats",
+    "ShardUnavailableError",
     "partial_key",
 ]

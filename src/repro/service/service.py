@@ -60,8 +60,15 @@ from repro.relational.sharding import ShardedDatabase
 from repro.service.admission import AdmissionController
 from repro.service.backends import ExecutionBackend, TaskMap, create_execution_backend
 from repro.service.caches import PlanCache, ResultCache
+from repro.service.faults import (
+    FaultInjector,
+    FaultPlan,
+    RetryPolicy,
+    ShardUnavailableError,
+    coerce_fault_plan,
+)
 from repro.service.metrics import QueryRecord, ServiceMetrics
-from repro.service.scatter import ScatterGatherExecutor
+from repro.service.scatter import ScatterGatherExecutor, ScatterGatherStats
 
 #: Virtual-time cost charged to a request answered from the result cache.
 RESULT_REPLAY_COST = 1.0
@@ -101,10 +108,18 @@ class ServiceRequest:
 
 @dataclass
 class QueryOutcome:
-    """What :meth:`QueryService.drain` returns per request: tuples + record."""
+    """What :meth:`QueryService.drain` returns per request: tuples + record.
+
+    ``error`` is the typed :class:`ShardUnavailableError` of a request that
+    failed on unrecoverable shard loss under ``on_shard_loss="fail"`` (its
+    tuples are empty and its record is flagged ``failed``);
+    :meth:`QueryService.serve` re-raises it for single-query callers, while
+    :meth:`~QueryService.drain` keeps the whole batch's outcomes flowing.
+    """
 
     tuples: List[Tuple[int, ...]]
     record: QueryRecord
+    error: Optional[ShardUnavailableError] = None
 
     @property
     def cardinality(self) -> int:
@@ -135,6 +150,7 @@ class _PreparedRequest:
     cache_dependencies: Optional[Tuple[str, ...]] = None
     partial_entries: List = field(default_factory=list)
     trace: Optional[Span] = None  # root span of the request's trace, if tracing
+    error: Optional[ShardUnavailableError] = None  # unrecoverable shard loss
 
 
 @dataclass
@@ -147,6 +163,8 @@ class _CompletedRequest:
     cache_entry: Optional[Tuple[str, List[Tuple[int, ...]], Tuple[str, ...]]]
     partial_entries: List
     trace: Optional[Span] = None
+    #: Scatter breakdown for circuit-breaker observation at completion.
+    scatter_stats: Optional[ScatterGatherStats] = None
 
 
 class QueryService:
@@ -201,6 +219,22 @@ class QueryService:
         execution backend).  Default ``None`` is the no-op tracer: every
         instrumentation site is guarded on ``tracer.enabled``, so the off
         cost is a couple of attribute reads per request.
+    faults:
+        A :class:`repro.service.faults.FaultPlan` (or a spec string, see
+        :func:`repro.service.faults.parse_fault_spec`) arming deterministic
+        fault injection: the scatter executor gains the retry/timeout/
+        hedging attempt walk, and a ``crash:`` clause arms the process
+        backend's worker-crash trigger.
+    on_shard_loss:
+        ``"fail"`` (default): a shard lost on every replica raises a typed
+        :class:`~repro.service.faults.ShardUnavailableError` — surfaced on
+        the request's :class:`QueryOutcome` and re-raised by :meth:`serve`.
+        ``"partial"``: the request completes with the surviving fragments'
+        union, flagged on ``QueryRecord.degraded`` and never admitted into
+        the result cache as a complete answer.
+    retry_policy:
+        :class:`repro.service.faults.RetryPolicy` knobs for the
+        fault-tolerant scatter path (timeouts, backoff, hedging, breaker).
     """
 
     def __init__(
@@ -222,6 +256,9 @@ class QueryService:
         backdated_arrivals: str = "warn",
         tracer: Union[Tracer, bool, None] = None,
         storage_dir: Optional[str] = None,
+        faults: Union[FaultPlan, str, None] = None,
+        on_shard_loss: str = "fail",
+        retry_policy: Optional[RetryPolicy] = None,
     ):
         if storage_dir is not None:
             if database is not None:
@@ -241,6 +278,10 @@ class QueryService:
             raise ValueError(
                 f"backdated_arrivals must be one of {BACKDATED_POLICIES}, "
                 f"got {backdated_arrivals!r}"
+            )
+        if on_shard_loss not in ("fail", "partial"):
+            raise ValueError(
+                f"on_shard_loss must be 'fail' or 'partial', got {on_shard_loss!r}"
             )
         self.database = database
         self.compiler = compiler or QueryCompiler(enable_caching=True)
@@ -289,6 +330,29 @@ class QueryService:
             )
         else:
             self.scatter = None
+        # Fault injection: arm the scatter executor's attempt walk and the
+        # process backend's crash trigger.  A pre-built executor (the
+        # Session path) may arrive already armed; explicit knobs here win.
+        self.fault_plan = (
+            coerce_fault_plan(faults, seed=seed) if faults is not None else None
+        )
+        injector = (
+            FaultInjector(self.fault_plan) if self.fault_plan is not None else None
+        )
+        if self.scatter is not None and (
+            injector is not None
+            or retry_policy is not None
+            or on_shard_loss != "fail"
+        ):
+            self.scatter.configure_faults(
+                injector=injector,
+                retry_policy=retry_policy,
+                on_shard_loss=on_shard_loss,
+            )
+        if injector is not None and injector.crash_after is not None:
+            runner = getattr(self.execution_backend, "_runner", None)
+            if runner is not None:
+                runner.crash_after = injector.crash_after
 
     # ------------------------------------------------------------------ #
     # Submission
@@ -382,13 +446,27 @@ class QueryService:
                 return self.execution_backend.drain(self, arrivals)
             finally:
                 self.metrics.wall_drain_seconds += time.perf_counter() - started
+                # Surface the process backend's permanent inline fallback
+                # (broken worker pool) in the service report.
+                self.metrics.inline_fallbacks = getattr(
+                    self.execution_backend, "inline_fallbacks", 0
+                )
 
     def serve(
         self, query: ConjunctiveQuery, priority: str = "normal", backend: Optional[str] = None
     ) -> QueryOutcome:
-        """Submit one query and serve everything pending; returns its outcome."""
+        """Submit one query and serve everything pending; returns its outcome.
+
+        Re-raises the typed :class:`ShardUnavailableError` of a request
+        that failed on unrecoverable shard loss (``on_shard_loss="fail"``);
+        batch callers using :meth:`drain` directly get the error on the
+        outcome instead.
+        """
         request_id = self.submit(query, priority=priority, backend=backend)
-        return self.drain()[request_id]
+        outcome = self.drain()[request_id]
+        if outcome.error is not None:
+            raise outcome.error
+        return outcome
 
     def close(self) -> None:
         """Release the execution backend's host resources (worker pools,
@@ -550,16 +628,29 @@ class QueryService:
             # the service plan cache is bypassed, so no hit is credited.
             # Fresh partials are collected and published at completion.
             prepared.cache_dependencies = query.relation_names()
+            # Breaker admission is read here, at dispatch, on the
+            # orchestrator thread — pooled backends then see the same gate
+            # the virtual-time oracle computed.  Outcomes feed back at the
+            # completion event (_complete), never from worker threads.
+            breaker_gate = self.scatter.breaker_gate(start_time)
 
-            def scatter_work() -> EngineExecution:
-                return self.scatter.execute(
-                    query,
-                    backend,
-                    spec=scatter_spec,
-                    collect_partials=prepared.partial_entries,
-                    task_map=task_map,
-                    engine_runner=engine_runner,
-                )
+            def scatter_work() -> Optional[EngineExecution]:
+                try:
+                    return self.scatter.execute(
+                        query,
+                        backend,
+                        spec=scatter_spec,
+                        collect_partials=prepared.partial_entries,
+                        task_map=task_map,
+                        engine_runner=engine_runner,
+                        now=start_time,
+                        breaker_gate=breaker_gate,
+                    )
+                except ShardUnavailableError as error:
+                    # Typed, expected failure: carry it to _finalize as a
+                    # failed record instead of tearing down the drain loop.
+                    prepared.error = error
+                    return None
 
             prepared.work = scatter_work
             return prepared
@@ -608,7 +699,17 @@ class QueryService:
         """Turn a finished execution into its completion event payload."""
         request = prepared.request
         cache_entry = None
-        if execution is None:
+        scatter_stats: Optional[ScatterGatherStats] = None
+        failed = False
+        if execution is None and prepared.error is not None:
+            # Unrecoverable shard loss under on_shard_loss="fail": a failed
+            # record charging the virtual time burned before giving up.
+            tuples = []
+            service_time = max(prepared.error.cost_ns, RESULT_REPLAY_COST)
+            plan_cache_hit = False
+            failed = True
+            scatter_stats = getattr(prepared.error, "scatter", None)
+        elif execution is None:
             tuples = prepared.tuples if prepared.tuples is not None else []
             service_time = RESULT_REPLAY_COST
             plan_cache_hit = False
@@ -621,6 +722,8 @@ class QueryService:
             plan_cache_hit = prepared.plan_cache_hit and execution.plan_used
             if execution.cacheable:
                 cache_entry = (prepared.signature, tuples, prepared.cache_dependencies)
+            if isinstance(execution.scatter, ScatterGatherStats):
+                scatter_stats = execution.scatter
         record = QueryRecord(
             request_id=request.request_id,
             query_name=request.query.name,
@@ -636,13 +739,22 @@ class QueryService:
             plan_cache_hit=plan_cache_hit,
             compiled=prepared.compiled,
             wall_elapsed=wall_elapsed,
+            retries=scatter_stats.retries if scatter_stats is not None else 0,
+            timeouts=scatter_stats.timeouts if scatter_stats is not None else 0,
+            degraded=execution.degraded if execution is not None else False,
+            failed=failed,
         )
         if prepared.trace is not None:
             execute = prepared.trace.child(
                 "execute", prepared.start_time, {"backend": prepared.backend.name}
             )
             execute.end(record.finish_time)
-            if execution is None:
+            if execution is None and failed:
+                execute.attributes["failed"] = True
+                execute.attributes["error"] = "shard_unavailable"
+                execute.attributes["missing_shards"] = list(prepared.error.shards)
+                execute.attributes["cost_ns"] = service_time
+            elif execution is None:
                 execute.attributes["result_cache_hit"] = True
                 execute.attributes["cost_ns"] = service_time
                 execute.attributes["cardinality"] = len(tuples)
@@ -653,11 +765,12 @@ class QueryService:
             prepared.trace.end(record.finish_time)
         return _CompletedRequest(
             request_id=request.request_id,
-            outcome=QueryOutcome(tuples, record),
+            outcome=QueryOutcome(tuples, record, error=prepared.error),
             record=record,
             cache_entry=cache_entry,
             partial_entries=prepared.partial_entries,
             trace=prepared.trace,
+            scatter_stats=scatter_stats,
         )
 
     def _complete(self, completed: _CompletedRequest) -> None:
@@ -674,6 +787,17 @@ class QueryService:
             self.result_cache.put_result(signature, tuples, relation_names)
         if completed.partial_entries:
             self.scatter.publish_partials(completed.partial_entries)
+        if (
+            completed.scatter_stats is not None
+            and self.scatter is not None
+            and self.scatter.fault_tolerant
+        ):
+            # Breaker state advances here, in virtual-time completion order
+            # on the orchestrator thread — the only mutation point, so every
+            # execution backend observes identical breaker transitions.
+            self.scatter.observe_attempts(
+                completed.scatter_stats, completed.record.finish_time
+            )
         if completed.trace is not None:
             # Traces seal in completion order — the deterministic order both
             # execution backends share — so span ids never depend on host

@@ -54,6 +54,7 @@ import os
 import pickle
 import threading
 import time
+import warnings
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
@@ -415,6 +416,17 @@ def _warm_worker() -> int:
     return os.getpid()
 
 
+class ProcessPoolBrokenWarning(RuntimeWarning):
+    """The worker pool died mid-serve; engine work continues inline.
+
+    Results are unchanged (the inline path is bit-identical by
+    construction) — only the offload is lost.  Raised at most once per
+    :class:`SharedMemoryRunner`; the count of executions that fell back is
+    :attr:`SharedMemoryRunner.inline_fallbacks`, mirrored into
+    ``ServiceMetrics.inline_fallbacks`` at drain time.
+    """
+
+
 class SharedMemoryRunner:
     """The process backend's ``engine_runner``: offload-or-decline per call.
 
@@ -425,6 +437,14 @@ class SharedMemoryRunner:
     engine, unpicklable engine, boxed tries, broken pool), and the caller
     runs the existing inline/threaded path instead — behaviour, not just
     results, degrades gracefully.
+
+    ``crash_after`` is the deterministic worker-crash trigger of the fault
+    harness (see :class:`repro.service.faults.WorkerCrashFault`): after that
+    many offloaded work items the pool is declared broken, exercising the
+    same fallback path a real worker death takes.  ``inline_fallbacks``
+    counts engine executions that ran inline *because the pool was broken*
+    (capability declines — plan-blind engines, boxed tries — are the normal
+    protocol and are not counted).
     """
 
     def __init__(self, workers: int = 4):
@@ -436,6 +456,12 @@ class SharedMemoryRunner:
         self._lock = threading.Lock()
         self._broken = False
         self._closed = False
+        #: Engine executions that fell back inline after the pool broke.
+        self.inline_fallbacks = 0
+        #: Declare the pool broken after this many offloaded work items
+        #: (``None`` disables the trigger).
+        self.crash_after: Optional[int] = None
+        self._work_count = 0
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -564,10 +590,40 @@ class SharedMemoryRunner:
             segments=segments,
         )
 
+    def _mark_broken(self, reason: str) -> None:
+        """Declare the pool unusable; warn exactly once per runner."""
+        with self._lock:
+            if self._broken:
+                return
+            self._broken = True
+        warnings.warn(
+            f"process pool broken ({reason}); subsequent engine executions "
+            f"run inline on the orchestrator — results are unchanged, only "
+            f"the offload is lost",
+            ProcessPoolBrokenWarning,
+            stacklevel=3,
+        )
+
+    def _note_inline_fallbacks(self, count: int = 1) -> None:
+        with self._lock:
+            self.inline_fallbacks += count
+
     def _submit(self, request: WorkRequest):
+        with self._lock:
+            crash = (
+                not self._closed
+                and not self._broken
+                and self.crash_after is not None
+                and self._work_count >= self.crash_after
+            )
+        if crash:
+            self._mark_broken(
+                f"simulated worker crash after {self.crash_after} work item(s)"
+            )
         with self._lock:
             if self._closed or self._broken or self._pool is None:
                 return None
+            self._work_count += 1
             pool = self._pool
         try:
             return pool.submit(execute_work_request, request)
@@ -584,8 +640,7 @@ class SharedMemoryRunner:
             # A worker died mid-drain.  Mark the pool unusable (close()
             # still unlinks every segment) and let the caller fall back to
             # the inline path so the drain completes.
-            with self._lock:
-                self._broken = True
+            self._mark_broken("a worker process died mid-drain")
             return None
 
     # ------------------------------------------------------------------ #
@@ -613,6 +668,10 @@ class SharedMemoryRunner:
             request = self._build_request(engine_bytes, query, plan, database)
             outcome = self._run(request) if request is not None else None
             if outcome is None:
+                # Boxed tries decline by protocol; a broken pool is a fault
+                # and this inline execution is counted as a fallback.
+                if request is not None and self._broken:
+                    self._note_inline_fallbacks()
                 return engine.execute(query, database, plan=plan)
             execution, _worker_wall = outcome
             execution.plan = plan
@@ -649,6 +708,9 @@ class SharedMemoryRunner:
         for shard in sorted(requests):
             future = self._submit(requests[shard])
             if future is None:
+                if self._broken:
+                    # The caller re-runs the whole fan-out inline.
+                    self._note_inline_fallbacks(len(views))
                 return None
             futures[shard] = future
         results: Dict[int, Tuple[EngineExecution, Optional[float]]] = {}
@@ -662,14 +724,15 @@ class SharedMemoryRunner:
             execution.plan = plan
             results[shard] = (execution, wall)
         if failed:
-            with self._lock:
-                self._broken = True
+            self._mark_broken("a worker process died mid-drain")
+            self._note_inline_fallbacks(len(views))
             return None
         return results
 
 
 __all__ = [
     "ATTACH_CACHE_LIMIT",
+    "ProcessPoolBrokenWarning",
     "SegmentCatalog",
     "SegmentHandle",
     "SharedMemoryRunner",
