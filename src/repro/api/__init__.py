@@ -46,7 +46,13 @@ from repro.api.routing import (
 )
 from repro.api.resultset import ExecutionOutcome, ResultSet
 from repro.api.statement import Statement, coerce_statement
-from repro.api.session import Explanation, RESULT_REPLAY_COST, Session
+from repro.api.session import (
+    Explanation,
+    RESULT_REPLAY_COST,
+    ResultDelta,
+    Session,
+    Subscription,
+)
 
 __all__ = [
     "AcceleratorEngine",
@@ -68,6 +74,8 @@ __all__ = [
     "Statement",
     "coerce_statement",
     "Explanation",
+    "ResultDelta",
+    "Subscription",
     "RESULT_REPLAY_COST",
     "Session",
 ]

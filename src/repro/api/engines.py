@@ -2,8 +2,8 @@
 
 Before this module existed the repository had three parallel execution
 abstractions: ``repro.joins.base.JoinEngine.run`` for the software
-algorithms, ``repro.service.engines.ExecutionBackend.execute`` for the
-serving layer, and a private engine table inside ``repro.cli``.  This module
+algorithms, a service-local backend protocol, and a private engine table
+inside ``repro.cli``.  This module
 absorbs all three behind one protocol, mirroring how the paper feeds one
 CTJ-compiled plan to software LFTJ/CTJ and the TrieJax accelerator alike
 (conf_asplos_KalinskyKE20, Section 3.2)::
@@ -23,7 +23,6 @@ The registry (:data:`ENGINE_FACTORIES`, :func:`create_engine`,
 :func:`register_engine`) is the *only* engine table in the repository: the
 CLI, :class:`repro.api.Session`, :class:`repro.service.QueryService`, the
 evaluation harness and the benchmarks all resolve engine names here.
-``repro.service.engines`` remains as a deprecated alias shim.
 """
 
 from __future__ import annotations
@@ -274,8 +273,7 @@ _COST_MODELS: Dict[str, CostModel] = {
 }
 
 #: Factories for every registered engine, by name.  This is the one engine
-#: table in the repository; ``repro.service.engines.BACKEND_FACTORIES`` is
-#: the same object, kept as a deprecated alias.
+#: table in the repository.
 ENGINE_FACTORIES: Dict[str, Callable[[], EngineProtocol]] = {
     "naive": lambda: SoftwareEngine(
         NaiveJoin(),

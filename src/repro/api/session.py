@@ -43,9 +43,82 @@ from repro.service.faults import (
     RetryPolicy,
     coerce_fault_plan,
 )
+from repro.service.maintenance import (
+    MaintenanceReport,
+    ResultMaintainer,
+    check_maintenance_mode,
+)
 from repro.service.scatter import ScatterGatherExecutor
 from repro.service.service import RESULT_REPLAY_COST
 from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class ResultDelta:
+    """One change to a subscribed query's result, delivered on mutation.
+
+    ``added``/``removed`` are the rows that entered/left the result
+    (sorted).  ``relation``/``shard`` identify the mutation that caused the
+    change; ``incremental`` records whether the delta was computed by a
+    semi-naive delta join (patch path) or by a full re-execution diff.
+    """
+
+    relation: str
+    shard: Optional[int]
+    added: Tuple[Tuple[int, ...], ...]
+    removed: Tuple[Tuple[int, ...], ...]
+    incremental: bool = False
+
+
+class Subscription:
+    """A continuous query: a live result set plus a stream of deltas.
+
+    Created by :meth:`Session.subscribe`.  The subscription snapshots the
+    statement's current result at creation; every subsequent catalog
+    mutation that touches the query's relations updates the snapshot and
+    queues a :class:`ResultDelta` (only when the result actually changed).
+    Consume with :meth:`poll` (drains queued deltas) and :attr:`result`
+    (the maintained result, sorted).  :meth:`close` detaches it.
+
+    Under ``maintenance="incremental"`` patchable insert events update the
+    snapshot with a semi-naive delta join; everything else — and every
+    event in ``"recompute"`` mode — re-executes the statement and diffs,
+    so removed rows (relation redefinitions) are reported correctly in
+    both modes.
+    """
+
+    def __init__(self, session: "Session", query: ConjunctiveQuery, signature: str):
+        self._session = session
+        self.query = query
+        self.signature = signature
+        self._snapshot: set = set(
+            tuple(row) for row in session.execute(query).tuples
+        )
+        self._pending: list = []
+        self.closed = False
+
+    @property
+    def result(self) -> Tuple[Tuple[int, ...], ...]:
+        """The maintained result as of the last observed mutation (sorted)."""
+        return tuple(sorted(self._snapshot))
+
+    def poll(self) -> Tuple[ResultDelta, ...]:
+        """Drain and return the deltas queued since the last poll."""
+        pending, self._pending = self._pending, []
+        return tuple(pending)
+
+    def close(self) -> None:
+        """Stop maintaining this subscription (idempotent)."""
+        self.closed = True
+        self._session._subscriptions = [
+            s for s in self._session._subscriptions if s is not self
+        ]
+
+    def __enter__(self) -> "Subscription":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
 
 @dataclass
@@ -142,6 +215,15 @@ class Session:
         partitioned fragment on distinct shards so retries can move to a
         replica.  All four thread through both :meth:`execute` and
         :meth:`serve`.
+    maintenance:
+        How the session's caches track catalog mutations.  ``"recompute"``
+        (default, the historical behaviour) drops every dependent cached
+        result.  ``"incremental"`` patches cached results — and the
+        shard-partial cache of a sharded catalog — in place with
+        semi-naive delta joins (:mod:`repro.joins.delta`) for patchable
+        events (exact insert batches); anything else still drops, so a
+        stale answer is never served.  Also selects how
+        :meth:`subscribe` subscriptions are advanced.
     """
 
     def __init__(
@@ -166,9 +248,11 @@ class Session:
         on_shard_loss: str = "fail",
         retry_policy: Optional[RetryPolicy] = None,
         replication_factor: int = 1,
+        maintenance: str = "recompute",
     ):
         if routing not in ("auto", "rotate"):
             raise ValueError(f"routing must be 'auto' or 'rotate', got {routing!r}")
+        check_maintenance_mode(maintenance)
         if on_shard_loss not in ("fail", "partial"):
             raise ValueError(
                 f"on_shard_loss must be 'fail' or 'partial', got {on_shard_loss!r}"
@@ -227,6 +311,8 @@ class Session:
         )
         self.on_shard_loss = on_shard_loss
         self.retry_policy = retry_policy
+        self.maintenance = maintenance
+        self._subscriptions: list = []
         if isinstance(self.database, ShardedDatabase):
             self._partial_cache: Optional[ResultCache] = ResultCache(
                 result_cache_capacity
@@ -244,21 +330,128 @@ class Session:
                 injector=injector,
                 on_shard_loss=on_shard_loss,
             )
-            self.database.subscribe_invalidation(self._partial_cache.invalidate)
         else:
             self._partial_cache = None
             self._scatter = None
+        if maintenance == "incremental":
+            # One maintainer patches both caches from inside
+            # _on_catalog_mutation; the partial cache must NOT also be
+            # subscribed to plain invalidation, or patched fragments would
+            # be dropped right after.
+            self._maintainer: Optional[ResultMaintainer] = ResultMaintainer(
+                self.database,
+                self.result_cache,
+                scatter=self._scatter,
+                compiler=self.compiler,
+                mode="incremental",
+                clock=self._clock_now,
+            )
+        else:
+            self._maintainer = None
+            if self._partial_cache is not None:
+                self.database.subscribe_invalidation(self._partial_cache.invalidate)
         self.database.subscribe_invalidation(self._on_catalog_mutation)
 
     def _on_catalog_mutation(self, event: MutationEvent) -> None:
-        self.result_cache.invalidate(event)
+        if self._maintainer is not None:
+            report: Optional[MaintenanceReport] = self._maintainer.on_mutation(event)
+        else:
+            report = None
+            self.result_cache.invalidate(event)
         # Cost estimates depend on relation statistics; recompute on change.
         self._route_memo.clear()
+        if self._subscriptions:
+            self._notify_subscriptions(event, report)
+
+    # ------------------------------------------------------------------ #
+    # Continuous queries
+    # ------------------------------------------------------------------ #
+    def subscribe(self, statement: object) -> Subscription:
+        """Register ``statement`` as a continuous query; returns its handle.
+
+        The returned :class:`Subscription` carries the statement's current
+        result and is kept up to date as the catalog mutates: each mutation
+        touching the query's relations updates :attr:`Subscription.result`
+        and queues a :class:`ResultDelta` for :meth:`Subscription.poll`.
+        Under ``maintenance="incremental"`` the update is a semi-naive
+        delta join; otherwise the statement is re-executed and diffed.
+        """
+        stmt = coerce_statement(statement)
+        query = stmt.resolve(self.database)
+        self.database.validate_query(query)
+        signature = self.compiler.signature(query)
+        subscription = Subscription(self, query, signature)
+        self._subscriptions.append(subscription)
+        return subscription
+
+    def _notify_subscriptions(
+        self, event: MutationEvent, report: Optional[MaintenanceReport]
+    ) -> None:
+        """Advance every live subscription past one catalog mutation.
+
+        Runs inside the catalog's notification, *after* the caches were
+        maintained for the event — the recompute diff below may therefore
+        be answered straight from the (already patched or dropped) result
+        cache.  A delta is queued only when the result actually changed.
+        """
+        incremental = (
+            self._maintainer is not None
+            and report is not None
+            and report.patchable
+        )
+        for subscription in list(self._subscriptions):
+            if event.relation not in subscription.query.relation_names():
+                continue
+            added: Tuple[Tuple[int, ...], ...]
+            removed: Tuple[Tuple[int, ...], ...] = ()
+            if incremental:
+                delta = self._maintainer.delta_for(subscription.query, event)
+                added = tuple(
+                    sorted(t for t in delta if t not in subscription._snapshot)
+                )
+                subscription._snapshot.update(added)
+            else:
+                current = {tuple(row) for row in self.execute(subscription.query).tuples}
+                added = tuple(sorted(current - subscription._snapshot))
+                removed = tuple(sorted(subscription._snapshot - current))
+                subscription._snapshot = current
+            if added or removed:
+                subscription._pending.append(
+                    ResultDelta(
+                        relation=event.relation,
+                        shard=event.shard,
+                        added=added,
+                        removed=removed,
+                        incremental=incremental,
+                    )
+                )
+
+    def _clock_now(self) -> float:
+        """The session's best-estimate virtual time, for maintenance checks.
+
+        The sync ``execute()`` path advances ``_trace_clock``; workloads
+        served through :attr:`service` advance the service's own clock.
+        The maintainer reads whichever is further along.
+        """
+        clock = self._trace_clock
+        if self._service is not None:
+            clock = max(clock, self._service.clock)
+        return clock
 
     @property
     def num_shards(self) -> int:
         """Shard count of the session's catalog (1 for a monolithic database)."""
         return getattr(self.database, "num_shards", 1)
+
+    @property
+    def maintainer(self) -> Optional[ResultMaintainer]:
+        """The incremental maintainer, or ``None`` under ``recompute``.
+
+        Exposes the per-mutation :class:`MaintenanceReport` history and the
+        accumulated delta-join cost (``maintainer.cost_ns``, virtual ns) so
+        benchmarks can charge patching honestly against recomputation.
+        """
+        return self._maintainer
 
     def close(self) -> None:
         """Detach this session from its catalog (idempotent).
@@ -271,8 +464,9 @@ class Session:
         """
         if not self._closed:
             self.database.unsubscribe_invalidation(self._on_catalog_mutation)
-            if self._partial_cache is not None:
+            if self._partial_cache is not None and self._maintainer is None:
                 self.database.unsubscribe_invalidation(self._partial_cache.invalidate)
+            self._subscriptions = []
             if self._service is not None:
                 self._service.close()  # shut down execution-backend pools
             if self._owns_database:
@@ -382,7 +576,8 @@ class Session:
                 )
                 if execution.cacheable:
                     self.result_cache.put_result(
-                        signature, execution.tuples, query.relation_names()
+                        signature, execution.tuples, query.relation_names(),
+                        query=query,
                     )
                 return ExecutionOutcome(
                     tuples=execution.tuples,
@@ -416,7 +611,8 @@ class Session:
                 plan_cache_hit = False
             if execution.cacheable:
                 self.result_cache.put_result(
-                    signature, execution.tuples, query.relation_names()
+                    signature, execution.tuples, query.relation_names(),
+                    query=query,
                 )
             return ExecutionOutcome(
                 tuples=execution.tuples,
@@ -431,7 +627,16 @@ class Session:
             )
 
         if not self.tracer.enabled:
-            return ResultSet(query, signature, engine.name, run, route=decision)
+
+            def clocked_run() -> ExecutionOutcome:
+                # The virtual-time cursor advances whether or not a trace is
+                # recorded: the incremental maintainer's fault checks read
+                # it (an unreachable fragment cannot be patched *now*).
+                outcome = run()
+                self._trace_clock += outcome.cost
+                return outcome
+
+            return ResultSet(query, signature, engine.name, clocked_run, route=decision)
 
         def traced_run() -> ExecutionOutcome:
             # The sync path has no event loop; executions occupy successive
@@ -544,6 +749,7 @@ class Session:
                 faults=self.fault_plan,
                 on_shard_loss=self.on_shard_loss,
                 retry_policy=self.retry_policy,
+                maintenance=self.maintenance,
             )
         return self._service
 

@@ -24,6 +24,9 @@ The CLI exposes the library's main entry points without writing any Python::
     python -m repro bench kernels --compare BENCH_kernels.json --run nightly
     python -m repro bench storage --smoke
     python -m repro bench concurrency --compare BENCH_concurrency.json
+    python -m repro bench ivm --compare BENCH_ivm.json
+    python -m repro bench all --smoke
+    python -m repro workload --dataset grqc --update-fraction 0.3 --maintenance incremental
     python -m repro store init var/store --dataset grqc --scale 0.01
     python -m repro store info var/store
     python -m repro run cycle3 --storage-dir var/store
@@ -48,9 +51,14 @@ pytest, honouring ``REPRO_BENCH_SEED``, optionally persisting a
 run-manifest artifact directory (``--run``) and diffing against the
 committed baseline (``--compare BENCH_kernels.json``, nonzero exit on
 regression; the ``storage`` suite measures mmap cold start vs trie rebuild
-and snapshot/WAL-replay cost, and the ``concurrency`` suite sweeps
+and snapshot/WAL-replay cost, the ``concurrency`` suite sweeps
 execution backends × workers for wall qps plus backend-equivalence and
-segment-leak checks); ``store init|snapshot|recover|info`` manages
+segment-leak checks, the ``chaos`` suite serves under deterministic fault
+plans, and the ``ivm`` suite pits incremental result patching against
+drop-and-recompute — ``bench all`` runs every suite and diffs each against
+its committed ``BENCH_<suite>.json`` baseline); ``workload
+--maintenance incremental`` serves with delta-patched caches instead of
+drop-and-recompute; ``store init|snapshot|recover|info`` manages
 a durable store directory (:mod:`repro.storage`) and ``run``/``workload``
 accept ``--storage-dir`` to execute against one — recovering it on open and
 snapshotting it afterwards; ``run`` and ``workload`` accept ``--trace out`` (JSONL or
@@ -289,6 +297,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="fraction of the stream that inserts edges (stresses invalidation)",
     )
     workload_parser.add_argument(
+        "--maintenance", default="recompute", choices=["recompute", "incremental"],
+        help="how catalog mutations reach cached results: drop dependent "
+        "entries and recompute on the next request, or patch them in place "
+        "with semi-naive delta joins",
+    )
+    workload_parser.add_argument(
         "--trace", default=None, metavar="PATH",
         help="record per-query span traces of the served stream to PATH",
     )
@@ -378,8 +392,9 @@ def build_parser() -> argparse.ArgumentParser:
         "bench", help="run a microbenchmark suite without pytest"
     )
     bench_parser.add_argument(
-        "suite", choices=["kernels", "storage", "concurrency", "chaos"],
-        help="which suite to run"
+        "suite", choices=["kernels", "storage", "concurrency", "chaos", "ivm", "all"],
+        help="which suite to run (``all`` runs every suite and diffs each "
+        "against its committed BENCH_<suite>.json baseline)"
     )
     bench_parser.add_argument(
         "--scale", type=float, default=None,
@@ -733,6 +748,7 @@ def _cmd_workload(args) -> int:
         partitioner=args.partitioner,
         execution_backend=args.backend,
         concurrency=args.workers if args.backend != "virtual" else 1,
+        maintenance=args.maintenance,
         trace=bool(args.trace),
         **_fault_session_kwargs(args),
     )
@@ -950,30 +966,65 @@ def _cmd_bench(args) -> int:
         write_kernel_report,
     )
 
-    if args.suite == "storage":
-        from repro.eval.storagebench import run_storage_benchmarks
+    def run_suite(suite: str):
+        if suite == "storage":
+            from repro.eval.storagebench import run_storage_benchmarks as runner
+        elif suite == "concurrency":
+            from repro.eval.concurrencybench import (
+                run_concurrency_benchmarks as runner,
+            )
+        elif suite == "chaos":
+            from repro.eval.chaosbench import run_chaos_benchmarks as runner
+        elif suite == "ivm":
+            from repro.eval.ivmbench import run_ivm_benchmarks as runner
+        else:
+            runner = run_kernel_benchmarks
+        return runner(
+            scale=args.scale, seed=args.seed, repeats=args.repeats, smoke=args.smoke
+        )
 
-        report = run_storage_benchmarks(
-            scale=args.scale, seed=args.seed, repeats=args.repeats, smoke=args.smoke
-        )
-    elif args.suite == "concurrency":
-        from repro.eval.concurrencybench import run_concurrency_benchmarks
+    if args.suite == "all":
+        # The umbrella regresses every suite against its committed baseline
+        # in one invocation; the single-report flags make no sense here.
+        if args.output or args.run or args.compare:
+            print(
+                "bench all: --output/--run/--compare apply to single suites",
+                file=sys.stderr,
+            )
+            return 2
+        import os.path
 
-        report = run_concurrency_benchmarks(
-            scale=args.scale, seed=args.seed, repeats=args.repeats, smoke=args.smoke
+        threshold = (
+            args.threshold if args.threshold is not None else DEFAULT_REGRESSION_THRESHOLD
         )
-    elif args.suite == "chaos":
-        from repro.eval.chaosbench import run_chaos_benchmarks
+        exit_code = 0
+        for suite in ("kernels", "storage", "concurrency", "chaos", "ivm"):
+            report = run_suite(suite)
+            print(format_kernel_report(report))
+            failed = [name for name, passed in report["checks"].items() if not passed]
+            for name in failed:
+                print(f"FAIL: bench check {name!r} did not hold", file=sys.stderr)
+            if failed:
+                exit_code = 1
+            baseline = f"BENCH_{suite}.json"
+            if os.path.exists(baseline):
+                comparison = compare_kernel_reports(
+                    report, load_report(baseline), threshold=threshold
+                )
+                print(format_comparison(comparison))
+                if not comparison["ok"]:
+                    print(
+                        f"FAIL: {suite} benchmarks regressed against {baseline}",
+                        file=sys.stderr,
+                    )
+                    exit_code = 1
+            else:
+                print(f"note: no committed baseline {baseline}; comparison skipped")
+        return exit_code
 
-        report = run_chaos_benchmarks(
-            scale=args.scale, seed=args.seed, repeats=args.repeats, smoke=args.smoke
-        )
-    else:
-        report = run_kernel_benchmarks(
-            scale=args.scale, seed=args.seed, repeats=args.repeats, smoke=args.smoke
-        )
-    # Both suites share the {meta, kernels, checks} report shape, so the
-    # formatting/artifact/comparison pipeline below serves either.
+    report = run_suite(args.suite)
+    # All suites share the {meta, kernels, checks} report shape, so the
+    # formatting/artifact/comparison pipeline below serves any of them.
     print(format_kernel_report(report))
     if args.output:
         write_kernel_report(report, args.output)

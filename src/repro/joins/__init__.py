@@ -38,6 +38,15 @@ from repro.joins.aggregates import (
     count_by_variable,
     estimate_count,
 )
+from repro.joins.delta import (
+    DeltaPlan,
+    DeltaPlanner,
+    DeltaResult,
+    DeltaView,
+    delta_alias,
+    delta_rewrites,
+    evaluate_delta,
+)
 
 __all__ = [
     "JoinStats",
@@ -63,4 +72,11 @@ __all__ = [
     "count_matches",
     "count_by_variable",
     "estimate_count",
+    "DeltaPlan",
+    "DeltaPlanner",
+    "DeltaResult",
+    "DeltaView",
+    "delta_alias",
+    "delta_rewrites",
+    "evaluate_delta",
 ]

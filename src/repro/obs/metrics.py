@@ -292,6 +292,8 @@ def _cache_counters(registry: MetricsRegistry, cache_name: str, stats) -> None:
         ("insertions", stats.insertions),
         ("evictions", stats.evictions),
         ("invalidations", stats.invalidations),
+        ("drops", stats.drops),
+        ("patches", stats.patches),
     ):
         ops.labels(cache=cache_name, op=op).inc(value)
 
@@ -368,6 +370,17 @@ def service_registry(
     _cache_counters(registry, "result", service.result_cache.stats)
     if service.scatter is not None and service.scatter.partial_cache is not None:
         _cache_counters(registry, "shard_partial", service.scatter.partial_cache.stats)
+
+    patches = registry.counter(
+        "result_patches_total",
+        "Cached results patched in place by incremental maintenance.",
+        labels=("cache",),
+    )
+    patches.labels(cache="result").inc(service.result_cache.stats.patches)
+    if service.scatter is not None and service.scatter.partial_cache is not None:
+        patches.labels(cache="shard_partial").inc(
+            service.scatter.partial_cache.stats.patches
+        )
 
     admission = service.admission.stats
     admission_counter = registry.counter(

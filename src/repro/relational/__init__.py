@@ -28,7 +28,7 @@ from repro.relational.datalog import (
     format_datalog,
 )
 from repro.relational.sql import SQLSyntaxError, parse_sql_join
-from repro.relational.catalog import Catalog, Database, MutationEvent
+from repro.relational.catalog import Catalog, Database, DeltaBatch, MutationEvent
 from repro.relational.sharding import (
     HashPartitioner,
     RangePartitioner,
@@ -74,6 +74,7 @@ __all__ = [
     "parse_sql_join",
     "Catalog",
     "Database",
+    "DeltaBatch",
     "MutationEvent",
     "HashPartitioner",
     "RangePartitioner",

@@ -16,9 +16,10 @@ that trie indexes are rebuilt lazily and every subscriber registered via
 :meth:`Database.subscribe_invalidation` (e.g. the
 :class:`repro.service.QueryService` result cache) learns which relation
 changed.  Subscribers receive a structured :class:`MutationEvent` — which
-relation, which shard (``None`` for a monolithic catalog), how many rows
-actually changed — so cache layers can invalidate per (relation, shard)
-fragment instead of dropping everything that mentions the relation.
+relation, which shard (``None`` for a monolithic catalog), and the exact
+:class:`DeltaBatch` of rows added — so cache layers can invalidate per
+(relation, shard) fragment, or patch maintained results in place with the
+delta rows, instead of dropping everything that mentions the relation.
 
 The read/write surface every engine and service component relies on is
 captured by the :class:`Catalog` protocol; :class:`Database` is its
@@ -29,7 +30,7 @@ canonical single-node implementation and
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import (
     Callable,
     Dict,
@@ -40,12 +41,86 @@ from typing import (
     Protocol,
     Sequence,
     Tuple,
+    Union,
     runtime_checkable,
 )
 
 from repro.relational.query import Atom, ConjunctiveQuery
-from repro.relational.relation import Relation
+from repro.relational.relation import Relation, Row
 from repro.relational.trie import TrieIndex
+
+
+@dataclass(frozen=True, eq=False)
+class DeltaBatch:
+    """The exact rows one catalog mutation added, in canonical form.
+
+    Every catalog implementation (in-memory, sharded, durable × both)
+    emits the same canonical batch for the same mutation: ``rows`` are the
+    genuinely-new tuples (normalised ints, deduplicated against both the
+    stored relation and the submitted batch) in ascending lexicographic
+    order, and ``count`` is their number.  Maintenance layers join these
+    rows against the existing tries to patch cached results in place
+    (semi-naive delta evaluation) instead of dropping them.
+
+    A batch may also be *inexact*: ``count`` rows changed but the rows
+    themselves are unknown (a relation (re)definition, or an event built
+    from a bare integer delta by :class:`MutationEvent`).  Inexact batches
+    cannot be patched — consumers must fall back to drop-and-recompute;
+    :attr:`exact` distinguishes the two.
+
+    For compatibility with the historical ``delta``-as-int contract the
+    batch compares equal to integers (``batch == 2`` means two rows
+    changed) and participates in ``sum(...)`` via integer addition.
+    """
+
+    rows: Tuple[Row, ...] = ()
+    count: int = 0
+
+    @classmethod
+    def from_rows(cls, rows: Iterable[Row]) -> "DeltaBatch":
+        """Canonical batch over already-new, already-normalised rows."""
+        canonical = tuple(sorted(rows))
+        return cls(rows=canonical, count=len(canonical))
+
+    @property
+    def exact(self) -> bool:
+        """True when ``rows`` accounts for every changed tuple."""
+        return len(self.rows) == self.count
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __int__(self) -> int:
+        return self.count
+
+    def __bool__(self) -> bool:
+        return self.count > 0
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.rows)
+
+    def __add__(self, other):
+        if isinstance(other, int):
+            return self.count + other
+        if isinstance(other, DeltaBatch):
+            return self.count + other.count
+        return NotImplemented
+
+    __radd__ = __add__
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, int):
+            return self.count == other
+        if isinstance(other, DeltaBatch):
+            return self.rows == other.rows and self.count == other.count
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.rows, self.count))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        shown = "exact" if self.exact else "inexact"
+        return f"DeltaBatch(count={self.count}, {shown})"
 
 
 @dataclass(frozen=True)
@@ -62,10 +137,12 @@ class MutationEvent:
         (re)definition, or an insert into a replicated relation).  Cache
         layers treat ``None`` as "every shard".
     delta:
-        Number of rows actually added by the mutation.  ``0`` means the
-        catalog mutated conservatively (e.g. every submitted row was a
-        duplicate) — subscribers still invalidate, matching the
-        conservative contract of :meth:`Database.insert_into`.
+        The :class:`DeltaBatch` of the mutation — the rows actually added
+        plus their count.  A bare integer is accepted for compatibility
+        and coerced to an inexact batch (count only, no rows).  A count of
+        ``0`` means the catalog mutated conservatively (e.g. every
+        submitted row was a duplicate) — subscribers still invalidate,
+        matching the conservative contract of :meth:`Database.insert_into`.
     kind:
         ``"insert"`` for row insertions, ``"define"`` for relation
         (re)definitions.
@@ -73,8 +150,22 @@ class MutationEvent:
 
     relation: str
     shard: Optional[int] = None
-    delta: int = 0
+    delta: Union[DeltaBatch, int] = field(default=0)
     kind: str = "insert"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.delta, DeltaBatch):
+            object.__setattr__(self, "delta", DeltaBatch(count=int(self.delta)))
+
+    @property
+    def patchable(self) -> bool:
+        """True when the event carries exact rows a maintainer can patch with.
+
+        Relation (re)definitions and inexact batches force the historical
+        drop-and-recompute path; exact insert batches (including empty
+        ones — every submitted row was a duplicate) can be patched.
+        """
+        return self.kind == "insert" and self.delta.exact
 
 
 #: Signature of an invalidation subscriber.
@@ -166,16 +257,27 @@ class Database:
     def insert_into(self, relation_name: str, rows: Iterable[Sequence[int]]) -> int:
         """Insert ``rows`` into a stored relation; return how many were new.
 
-        This is the mutation entry point of the serving layer: tries built
-        for the relation are discarded (they are rebuilt lazily on the next
-        query) and every invalidation subscriber is notified, whether or not
-        any row was actually new — callers cannot observe staleness either
-        way, but cache layers above prefer the conservative signal.
+        This is the mutation entry point of the serving layer: cached tries
+        for the relation are *extended* with the new rows (one linear merge
+        pass, no re-sort — see :meth:`TrieIndex.extended`) and every
+        invalidation subscriber is notified with the exact
+        :class:`DeltaBatch`, whether or not any row was actually new —
+        callers cannot observe staleness either way, but cache layers above
+        prefer the conservative signal.
+        """
+        return self.insert_batch(relation_name, rows).count
+
+    def insert_batch(self, relation_name: str, rows: Iterable[Sequence[int]]) -> DeltaBatch:
+        """Insert ``rows`` and return the canonical :class:`DeltaBatch`.
+
+        This is :meth:`insert_into` with the exact new rows surfaced, so
+        composing catalogs (sharding, durability) can forward per-fragment
+        batches without re-deriving them.
         """
         relation = self.relation(relation_name)
-        inserted = sum(1 for row in rows if relation.insert(row))
-        self._invalidate(relation_name, delta=inserted)
-        return inserted
+        batch = DeltaBatch.from_rows(relation.insert_batch(rows))
+        self._apply_delta(relation_name, batch)
+        return batch
 
     def subscribe_invalidation(self, callback: MutationListener) -> None:
         """Call ``callback(event)`` whenever a relation is (re)defined or mutated.
@@ -205,6 +307,38 @@ class Database:
             for key in stale:
                 del self._trie_cache[key]
         event = MutationEvent(relation_name, shard=None, delta=delta, kind=kind)
+        for callback in self._invalidation_listeners:
+            callback(event)
+
+    def _apply_delta(self, relation_name: str, batch: DeltaBatch) -> None:
+        """Extend cached tries with ``batch`` and notify subscribers.
+
+        Each cached trie of the relation is replaced by a copy-on-write
+        extension (readers holding the old trie keep a consistent
+        snapshot, exactly as under the historical evict-and-rebuild).  A
+        trie whose tuple count no longer matches the relation — someone
+        mutated the :class:`Relation` behind the catalog's back — is
+        evicted instead of patched, so a patched trie is never wrong.
+        """
+        relation = self.relation(relation_name)
+        with self._trie_lock:
+            stale = [
+                (key, trie)
+                for key, trie in self._trie_cache.items()
+                if key[0] == relation_name
+            ]
+            for key, trie in stale:
+                if trie.num_tuples + batch.count != relation.cardinality:
+                    del self._trie_cache[key]
+                elif batch.rows:
+                    indexes = tuple(
+                        relation.schema.index_of(a) for a in trie.attribute_order
+                    )
+                    permuted = sorted(
+                        tuple(row[i] for i in indexes) for row in batch.rows
+                    )
+                    self._trie_cache[key] = trie.extended(permuted)
+        event = MutationEvent(relation_name, shard=None, delta=batch, kind="insert")
         for callback in self._invalidation_listeners:
             callback(event)
 

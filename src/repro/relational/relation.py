@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from array import array
 from bisect import bisect_left
+from heapq import merge as heapq_merge
 from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
 
 from repro.relational.schema import Schema
@@ -170,6 +171,39 @@ class Relation:
             if self.insert(row):
                 added += 1
         return added
+
+    def insert_batch(self, rows: Iterable[Sequence[int]]) -> Tuple[Row, ...]:
+        """Insert a batch and return the genuinely-new rows, sorted.
+
+        Unlike per-row :meth:`insert`, the sorted-rows caches are *merged*
+        with the (sorted) delta in one linear pass instead of being
+        dropped, so the next trie build after a batch insert pays no
+        re-sort.  The returned rows are normalised, deduplicated against
+        both the stored set and the batch itself, and lexicographically
+        ascending — exactly the canonical form
+        :class:`repro.relational.catalog.DeltaBatch` carries.
+        """
+        fresh: set = set()
+        for row in rows:
+            if len(row) != self.schema.arity:
+                raise ValueError(
+                    f"row {tuple(row)!r} has arity {len(row)}, "
+                    f"expected {self.schema.arity} for relation {self.name!r}"
+                )
+            normalized = tuple(int(v) for v in row)
+            if normalized not in self._rows:
+                fresh.add(normalized)
+        if not fresh:
+            return ()
+        added = sorted(fresh)
+        if self._sorted_cache is not None:
+            self._sorted_cache = list(heapq_merge(self._sorted_cache, added))
+        for indexes, cached in self._permuted_cache.items():
+            permuted = sorted(tuple(row[i] for i in indexes) for row in added)
+            self._permuted_cache[indexes] = list(heapq_merge(cached, permuted))
+        self._rows.update(added)
+        self._dictionary = None
+        return tuple(added)
 
     # ------------------------------------------------------------------ #
     # Inspection

@@ -598,26 +598,30 @@ class ShardedDatabase:
         self._global.relation(relation_name)  # raise early for unknown names
         normalized = [tuple(int(v) for v in row) for row in rows]
         if relation_name in self._replicated:
-            inserted = self._global.insert_into(relation_name, normalized)
-            self._notify(MutationEvent(relation_name, shard=None, delta=inserted))
-            return inserted
+            batch = self._global.insert_batch(relation_name, normalized)
+            self._notify(MutationEvent(relation_name, shard=None, delta=batch))
+            return batch.count
         position = self._shard_positions[relation_name]
         partitioner = self._partitioners[relation_name]
         by_shard: Dict[int, List[Tuple[int, ...]]] = {}
         for row in normalized:
             by_shard.setdefault(partitioner.shard_of(row[position]), []).append(row)
+        # The merged global view updates before any event fires: incremental
+        # maintainers run their delta joins from inside the notification, and
+        # the post-state semi-naive rewrite needs every non-delta atom to
+        # read the fully post-insert relation.
+        self._global.insert_into(relation_name, normalized)
         inserted_total = 0
         for shard in sorted(by_shard):
             # Fragments partition the global relation under the same
             # routing function, so new-in-fragment == new-in-global.
-            delta = self._shards[shard].insert_into(relation_name, by_shard[shard])
+            batch = self._shards[shard].insert_batch(relation_name, by_shard[shard])
             for r in range(1, self.replication_factor):
                 self._replicas[(relation_name, shard, r)].insert_into(
                     relation_name, by_shard[shard]
                 )
-            inserted_total += delta
-            self._notify(MutationEvent(relation_name, shard=shard, delta=delta))
-        self._global.insert_into(relation_name, normalized)
+            inserted_total += batch.count
+            self._notify(MutationEvent(relation_name, shard=shard, delta=batch))
         return inserted_total
 
     def subscribe_invalidation(self, callback: MutationListener) -> None:

@@ -13,11 +13,14 @@ cross-query, throughput-oriented workloads:
   queries and arbitrates priority classes with a seeded lottery.
 
 :class:`QueryService` (:mod:`repro.service.service`) composes both over the
-pluggable backend registry (:mod:`repro.service.engines`: naive, LFTJ, CTJ,
+pluggable engine registry (:mod:`repro.api.engines`: naive, LFTJ, CTJ,
 Generic Join, pairwise, and the TrieJax accelerator model);
 :mod:`repro.service.workload` drives it with seeded open/closed-loop query
 streams and :mod:`repro.service.metrics` aggregates per-request records
-into service reports.
+into service reports.  Catalog mutations flow to the caches under one of
+two maintenance policies (:mod:`repro.service.maintenance`): drop dependent
+entries and recompute on the next request, or patch them in place with
+semi-naive delta joins (:mod:`repro.joins.delta`).
 
 *How* admitted requests physically execute is pluggable too
 (:mod:`repro.service.backends`): :class:`VirtualTimeBackend` is the
@@ -38,17 +41,12 @@ Quick start::
     outcomes = run_workload(service, requests)
     print(service.report())
 
-.. deprecated::
-    The engine classes and registry re-exported here
-    (``BackendExecution``, ``SoftwareBackend``, ``AcceleratorBackend``,
-    ``BACKEND_FACTORIES``, ``create_backend``) are aliases of their new
-    homes in :mod:`repro.api.engines`; import from :mod:`repro.api` in new
-    code.  ``ExecutionBackend`` now names the *execution-loop* abstraction
-    from :mod:`repro.service.backends`; the old engine-protocol alias of
-    the same name remains importable from :mod:`repro.service.engines`.
-    :class:`QueryService` itself is most conveniently reached through
-    :meth:`repro.api.Session.serve`, which shares the session's caches and
-    cost router.
+Engines live in :mod:`repro.api.engines` (the single registry shared with
+:class:`repro.api.Session`); ``ExecutionBackend`` here names the
+*execution-loop* abstraction from :mod:`repro.service.backends`.
+:class:`QueryService` itself is most conveniently reached through
+:meth:`repro.api.Session.serve`, which shares the session's caches and
+cost router.
 """
 
 from repro.service.admission import (
@@ -67,13 +65,11 @@ from repro.service.backends import (
     create_execution_backend,
 )
 from repro.service.caches import CacheStats, LRUCache, PlanCache, ResultCache
-from repro.service.engines import (
-    AcceleratorBackend,
-    BACKEND_FACTORIES,
-    BACKEND_NAMES,
-    BackendExecution,
-    SoftwareBackend,
-    create_backend,
+from repro.service.maintenance import (
+    MAINTENANCE_MODES,
+    MaintenanceReport,
+    ResultMaintainer,
+    check_maintenance_mode,
 )
 from repro.service.faults import (
     CircuitBreaker,
@@ -134,12 +130,10 @@ __all__ = [
     "LRUCache",
     "PlanCache",
     "ResultCache",
-    "AcceleratorBackend",
-    "BACKEND_FACTORIES",
-    "BACKEND_NAMES",
-    "BackendExecution",
-    "SoftwareBackend",
-    "create_backend",
+    "MAINTENANCE_MODES",
+    "MaintenanceReport",
+    "ResultMaintainer",
+    "check_maintenance_mode",
     "CircuitBreaker",
     "FaultInjector",
     "FaultPlan",

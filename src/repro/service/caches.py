@@ -40,7 +40,18 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Generic, Iterable, List, Optional, Set, Tuple, TypeVar, Union
+from typing import (
+    Callable,
+    Dict,
+    Generic,
+    Iterable,
+    List,
+    Optional,
+    Set,
+    Tuple,
+    TypeVar,
+    Union,
+)
 
 from repro.joins.plan import JoinPlan
 from repro.relational.catalog import MutationEvent
@@ -69,9 +80,13 @@ class CacheStats:
 
     ``insertions`` counts fresh keys only; re-putting an existing key is a
     ``replacement``.  Entries leave the cache through exactly one of
-    ``evictions`` (capacity pressure), ``invalidations`` (a targeted
+    ``evictions`` (capacity pressure), ``drops`` (a targeted
     :meth:`LRUCache.discard`) or ``clears`` (a bulk :meth:`LRUCache.clear`),
-    so service reports can tell reuse loss from staleness loss.
+    so service reports can tell reuse loss from staleness loss.  A mutation
+    handled by the incremental-maintenance path *patches* an entry in place
+    instead of dropping it (``patches``); ``invalidations`` is the derived
+    total of mutation-triggered touches, ``drops + patches``, preserving
+    the historical counter for reports and trace events.
     """
 
     lookups: int = 0
@@ -79,8 +94,14 @@ class CacheStats:
     insertions: int = 0
     replacements: int = 0
     evictions: int = 0
-    invalidations: int = 0
+    drops: int = 0
+    patches: int = 0
     clears: int = 0
+
+    @property
+    def invalidations(self) -> int:
+        """Mutation-triggered entry touches: targeted drops plus patches."""
+        return self.drops + self.patches
 
     @property
     def misses(self) -> int:
@@ -99,6 +120,8 @@ class CacheStats:
             "insertions": self.insertions,
             "replacements": self.replacements,
             "evictions": self.evictions,
+            "drops": self.drops,
+            "patches": self.patches,
             "invalidations": self.invalidations,
             "clears": self.clears,
         }
@@ -161,13 +184,13 @@ class LRUCache(Generic[V]):
             return self._entries.get(key)
 
     def discard(self, key: str) -> bool:
-        """Drop ``key`` (an invalidation, not an eviction); True if present."""
+        """Drop ``key`` (an invalidation drop, not an eviction); True if present."""
         with self._lock:
             if key not in self._entries:
                 return False
             del self._entries[key]
             self._on_evict(key)
-            self.stats.invalidations += 1
+            self.stats.drops += 1
             return True
 
     def clear(self) -> None:
@@ -208,9 +231,13 @@ class ResultCache(LRUCache[List[Tuple[int, ...]]]):
     Every entry records the (relation, shard) fragments its result was
     computed from — plain relation names mean "every shard".  When the
     catalog reports a :class:`~repro.relational.catalog.MutationEvent`,
-    :meth:`invalidate` drops exactly the entries whose dependencies
-    intersect the mutated fragment (counted as invalidations, not
-    evictions); entries pinned to untouched shards survive.
+    one of two maintenance policies applies: :meth:`invalidate` *drops*
+    exactly the entries whose dependencies intersect the mutated fragment
+    (drop-and-recompute, counted as drops, not evictions), while
+    :meth:`maintain` *patches* dependent entries in place with the delta
+    result a solver computes (incremental maintenance, counted as
+    patches), dropping only what cannot be patched safely.  Entries pinned
+    to untouched shards survive either way.
     """
 
     def __init__(self, capacity: int):
@@ -218,18 +245,25 @@ class ResultCache(LRUCache[List[Tuple[int, ...]]]):
         # relation -> shard (None = whole relation) -> dependent keys.
         self._dependents: Dict[str, Dict[Optional[int], Set[str]]] = {}
         self._dependencies: Dict[str, Tuple[ShardDependency, ...]] = {}
+        # key -> the query the entry answers; only entries that recorded one
+        # are patchable by the incremental-maintenance path.
+        self._queries: Dict[str, ConjunctiveQuery] = {}
 
     def put_result(
         self,
         key: str,
         tuples: List[Tuple[int, ...]],
         relation_names: Iterable[Union[str, ShardDependency]],
+        query: Optional[ConjunctiveQuery] = None,
     ) -> None:
         """Cache ``tuples`` for ``key``, depending on ``relation_names``.
 
         Dependencies may be bare relation names (whole-relation) and/or
         ``(relation, shard)`` pairs (fragment-level, as produced by the
-        scatter-gather executor's per-shard partial results).
+        scatter-gather executor's per-shard partial results).  ``query``
+        records what the entry answers: entries carrying their query can be
+        *patched* in place by incremental maintenance (see :meth:`maintain`)
+        instead of dropped; entries without one always drop.
         """
         dependencies = tuple(
             dict.fromkeys(normalize_dependency(d) for d in relation_names)
@@ -240,28 +274,94 @@ class ResultCache(LRUCache[List[Tuple[int, ...]]]):
             self._dependencies[key] = dependencies
             for relation, shard in dependencies:
                 self._dependents.setdefault(relation, {}).setdefault(shard, set()).add(key)
+            if query is not None:
+                self._queries[key] = query
             self.put(key, tuples)
 
-    def invalidate(self, event: MutationEvent) -> int:
-        """Drop every entry dependent on the mutated fragment; return the count.
+    def dependent_keys(self, event: MutationEvent) -> Tuple[str, ...]:
+        """The keys a mutation event touches, in deterministic (sorted) order.
 
-        A whole-relation event (``shard=None``) drops every entry that
-        mentions the relation at any shard; a shard event drops entries
+        A whole-relation event (``shard=None``) selects every entry that
+        mentions the relation at any shard; a shard event selects entries
         depending on that shard or on the whole relation.
         """
         with self._lock:
             by_shard = self._dependents.get(event.relation)
             if not by_shard:
-                return 0
+                return ()
             if event.shard is None:
                 keys: Set[str] = set().union(*by_shard.values())
             else:
                 keys = set(by_shard.get(None, ())) | set(by_shard.get(event.shard, ()))
-            dropped = 0
-            for key in sorted(keys):  # sorted: deterministic drop order
-                if self.discard(key):
-                    dropped += 1
-            return dropped
+            return tuple(sorted(keys))
+
+    def invalidate(self, event: MutationEvent) -> int:
+        """Drop every entry dependent on the mutated fragment; return the count.
+
+        This is the drop-and-recompute maintenance policy; see
+        :meth:`maintain` for the delta-patching alternative.
+        """
+        dropped = 0
+        for key in self.dependent_keys(event):
+            if self.discard(key):
+                dropped += 1
+        return dropped
+
+    def query_of(self, key: str) -> Optional[ConjunctiveQuery]:
+        """The query recorded for ``key`` at :meth:`put_result` time, if any."""
+        with self._lock:
+            return self._queries.get(key)
+
+    def patch_result(self, key: str, rows: Iterable[Tuple[int, ...]]) -> bool:
+        """Merge delta ``rows`` into ``key``'s cached result, in place.
+
+        The entry's tuples become the sorted set union of the old result
+        and the delta — set semantics, matching every engine's dedup on
+        merge.  Counted under ``patches`` (never ``replacements``); LRU
+        recency is left untouched, exactly like a drop would not have
+        refreshed it.  Returns ``False`` (and changes nothing) when the
+        key is absent — the caller then falls back to a drop.
+        """
+        with self._lock:
+            current = self._entries.get(key)
+            if current is None:
+                return False
+            delta = [tuple(row) for row in rows]
+            self._entries[key] = (
+                sorted(set(current) | set(delta)) if delta else list(current)
+            )
+            self.stats.patches += 1
+            return True
+
+    def maintain(
+        self,
+        event: MutationEvent,
+        solver: "Callable[[str, ConjunctiveQuery, MutationEvent], Optional[Iterable[Tuple[int, ...]]]]",
+    ) -> Tuple[int, int]:
+        """Patch-or-drop every entry the mutation touches; ``(patched, dropped)``.
+
+        The incremental-maintenance policy: for each dependent entry that
+        recorded its query, ``solver(key, query, event)`` computes the
+        delta result rows (typically a semi-naive delta join, see
+        :mod:`repro.joins.delta`); the entry is patched in place with them.
+        A solver that returns ``None`` or raises — or an entry without a
+        recorded query — falls back to the drop path, so maintenance can
+        never leave a wrong answer behind.
+        """
+        patched = dropped = 0
+        for key in self.dependent_keys(event):
+            query = self.query_of(key)
+            rows: Optional[Iterable[Tuple[int, ...]]] = None
+            if query is not None:
+                try:
+                    rows = solver(key, query, event)
+                except Exception:
+                    rows = None
+            if rows is not None and self.patch_result(key, rows):
+                patched += 1
+            elif self.discard(key):
+                dropped += 1
+        return patched, dropped
 
     def invalidate_relation(self, relation_name: str) -> int:
         """Drop every entry computed from any shard of ``relation_name``."""
@@ -273,6 +373,7 @@ class ResultCache(LRUCache[List[Tuple[int, ...]]]):
             return self._dependencies.get(key, ())
 
     def _drop_dependency_index(self, key: str) -> None:
+        self._queries.pop(key, None)
         for relation, shard in self._dependencies.pop(key, ()):
             by_shard = self._dependents.get(relation)
             if by_shard is None:

@@ -277,6 +277,10 @@ class ScatterGatherExecutor:
         # only avoids duplicate work and a torn check-then-insert.
         self._plan_memo: Dict[Tuple[str, int], JoinPlan] = {}
         self._plan_lock = threading.Lock()
+        # Scatter spec by signature, recorded at execute time so the
+        # incremental-maintenance path (see maintain) can rebuild a shard's
+        # view when patching its cached partial.
+        self._spec_memo: Dict[str, ScatterSpec] = {}
 
     # ------------------------------------------------------------------ #
     # Fault tolerance
@@ -363,7 +367,14 @@ class ScatterGatherExecutor:
         engine: EngineProtocol,
         spec: Optional[ScatterSpec] = None,
         collect_partials: Optional[
-            List[Tuple[str, List[Tuple[int, ...]], Tuple[ShardDependency, ...]]]
+            List[
+                Tuple[
+                    str,
+                    List[Tuple[int, ...]],
+                    Tuple[ShardDependency, ...],
+                    ConjunctiveQuery,
+                ]
+            ]
         ] = None,
         task_map: Optional[
             Callable[[Callable[[int], EngineExecution], Sequence[int]], List[EngineExecution]]
@@ -382,7 +393,7 @@ class ScatterGatherExecutor:
         :class:`ScatterGatherStats` breakdown in ``scatter``.
 
         With ``collect_partials``, freshly computed per-shard partials are
-        appended to that list as ``(key, tuples, dependencies)`` instead of
+        appended to that list as ``(key, tuples, dependencies, query)`` instead of
         entering the partial cache immediately — the virtual-time service
         passes it so partials become visible at the request's *completion*
         event, preserving the causality the result cache already honours
@@ -424,6 +435,7 @@ class ScatterGatherExecutor:
         if spec is None:
             return self._execute_global(query, engine)
         signature = self.compiler.signature(query)
+        self._spec_memo[signature] = spec
         plan = self._plan_for(signature, spec) if engine.plan_aware else None
         injector = self.injector
         own_gate = injector is not None and breaker_gate is None
@@ -569,7 +581,12 @@ class ScatterGatherExecutor:
             _merge_join_stats(aggregated, execution.stats)
             if self.partial_cache is not None and execution.cacheable:
                 key = partial_key(signature, shard)
-                entry = (key, execution.tuples, self.dependencies_for(spec, shard))
+                entry = (
+                    key,
+                    execution.tuples,
+                    self.dependencies_for(spec, shard),
+                    spec.query,
+                )
                 if collect_partials is not None:
                     collect_partials.append(entry)
                 else:
@@ -679,13 +696,75 @@ class ScatterGatherExecutor:
 
     def publish_partials(
         self,
-        entries: List[Tuple[str, List[Tuple[int, ...]], Tuple[ShardDependency, ...]]],
+        entries: List[Tuple],
     ) -> None:
         """Publish partials collected via ``collect_partials`` into the cache."""
         if self.partial_cache is None:
             return
-        for key, tuples, dependencies in entries:
-            self.partial_cache.put_result(key, tuples, dependencies)
+        for key, tuples, dependencies, query in entries:
+            self.partial_cache.put_result(key, tuples, dependencies, query=query)
+
+    # ------------------------------------------------------------------ #
+    # Incremental maintenance of cached partials
+    # ------------------------------------------------------------------ #
+    def maintain(self, event, planner, engine, now: float = 0.0) -> Tuple[int, int]:
+        """Patch the cached shard partials a mutation event touches.
+
+        The incremental alternative to subscribing ``partial_cache.invalidate``:
+        for each dependent partial entry, the fragment's delta result is
+        computed by semi-naive delta joins against that shard's view — the
+        seed atom's delta is the slice of the batch routed to the entry's
+        shard (empty for sibling shards of a partitioned seed), and every
+        other atom over the mutated relation sees the whole batch through
+        the global view — and merged into the entry in place.
+
+        Composes with the PR 9 fault path: with an armed injector, a patch
+        whose fragment is unreachable on every replica at virtual ``now``
+        is *lost* and the entry is dropped instead — a lost patch degrades
+        to recompute, never to a wrong answer.  Any solver failure
+        (unknown spec, raised error) falls back to the drop the same way.
+
+        Returns ``(patched, dropped)``.
+        """
+        if self.partial_cache is None:
+            return (0, 0)
+
+        def solve(key: str, query, evt):
+            signature, _, suffix = key.rpartition("#shard")
+            spec = self._spec_memo.get(signature)
+            if spec is None or not suffix.isdigit():
+                return None
+            shard = int(suffix)
+            if self.injector is not None and spec.partitioned:
+                nodes = self.catalog.replica_nodes(spec.seed_relation, shard)
+                if all(self.injector.is_down(node, now) for node in nodes):
+                    return None  # lost patch → fragment drop
+            rows = evt.delta.rows
+            deltas: Dict[str, Tuple[Tuple[int, ...], ...]] = {}
+            if any(
+                atom.relation == evt.relation
+                for index, atom in enumerate(spec.query.atoms)
+                if index != spec.seed_index
+            ):
+                deltas[evt.relation] = rows
+            if spec.seed_relation == evt.relation:
+                if not spec.partitioned:
+                    deltas[spec.alias] = rows
+                elif evt.shard == shard:
+                    deltas[spec.alias] = rows
+                elif evt.shard is None:
+                    # Whole-relation event on a partitioned seed: the rows
+                    # cannot be attributed to fragments here, so drop.
+                    return None
+            deltas = {name: batch for name, batch in deltas.items() if batch}
+            if not deltas:
+                return ()  # dependency touched, fragment result unchanged
+            view = self.catalog.shard_view(shard, spec)
+            from repro.joins.delta import evaluate_delta
+
+            return evaluate_delta(spec.query, view, deltas, engine, planner).tuples
+
+        return self.partial_cache.maintain(event, solve)
 
     def invalidation_report(self) -> Optional[str]:
         """One report line for the partial cache, or ``None`` without one."""
@@ -694,7 +773,8 @@ class ScatterGatherExecutor:
         stats = self.partial_cache.stats
         return (
             f"shard partial cache  : {stats.hits}/{stats.lookups} hits "
-            f"({stats.hit_rate:.1%}), {stats.invalidations} invalidations"
+            f"({stats.hit_rate:.1%}), {stats.invalidations} invalidations "
+            f"({stats.drops} drops, {stats.patches} patches)"
         )
 
 

@@ -2,7 +2,7 @@
 
 :class:`QueryService` turns the single-query reproduction into a serving
 system.  It owns a :class:`~repro.relational.catalog.Database` catalog and a
-set of execution backends (see :mod:`repro.service.engines`) and serves a
+set of execution backends (see :mod:`repro.api.engines`) and serves a
 stream of requests through three cooperating layers:
 
 1. the **result cache** answers a repeated query without touching an engine
@@ -14,7 +14,7 @@ stream of requests through three cooperating layers:
    reproducible lottery.
 
 Concurrency is modelled in *virtual time* (modelled nanoseconds, see
-:mod:`repro.service.engines`), the same way the core scheduler models
+:mod:`repro.api.engines`), the same way the core scheduler models
 hardware threads: each execution charges a deterministic backend cost as
 its service time, and :meth:`QueryService.drain` advances a virtual clock
 through arrival/completion events.  The clock persists across drains, and a
@@ -60,6 +60,7 @@ from repro.relational.sharding import ShardedDatabase
 from repro.service.admission import AdmissionController
 from repro.service.backends import ExecutionBackend, TaskMap, create_execution_backend
 from repro.service.caches import PlanCache, ResultCache
+from repro.service.maintenance import ResultMaintainer, check_maintenance_mode
 from repro.service.faults import (
     FaultInjector,
     FaultPlan,
@@ -160,7 +161,9 @@ class _CompletedRequest:
     request_id: int
     outcome: QueryOutcome
     record: QueryRecord
-    cache_entry: Optional[Tuple[str, List[Tuple[int, ...]], Tuple[str, ...]]]
+    cache_entry: Optional[
+        Tuple[str, List[Tuple[int, ...]], Tuple[str, ...], ConjunctiveQuery]
+    ]
     partial_entries: List
     trace: Optional[Span] = None
     #: Scatter breakdown for circuit-breaker observation at completion.
@@ -235,6 +238,14 @@ class QueryService:
     retry_policy:
         :class:`repro.service.faults.RetryPolicy` knobs for the
         fault-tolerant scatter path (timeouts, backoff, hedging, breaker).
+    maintenance:
+        How caches this service owns track catalog mutations:
+        ``"recompute"`` (default) drops dependent entries;
+        ``"incremental"`` patches them in place with semi-naive delta
+        joins through a :class:`~repro.service.maintenance.ResultMaintainer`
+        (non-patchable events still drop).  Ignored for externally owned
+        caches — their owner (e.g. :class:`repro.api.Session`) wires
+        maintenance itself.
     """
 
     def __init__(
@@ -259,7 +270,9 @@ class QueryService:
         faults: Union[FaultPlan, str, None] = None,
         on_shard_loss: str = "fail",
         retry_policy: Optional[RetryPolicy] = None,
+        maintenance: str = "recompute",
     ):
+        check_maintenance_mode(maintenance)
         if storage_dir is not None:
             if database is not None:
                 raise ValueError(
@@ -313,23 +326,46 @@ class QueryService:
         # concurrently over the same admission/cache state.
         self._submit_lock = threading.Lock()
         self._drain_lock = threading.Lock()
+        self.maintenance = maintenance
+        self.maintainer: Optional[ResultMaintainer] = None
+        owns_result_cache = result_cache is None
         if result_cache is not None:
             self.result_cache = result_cache
         else:
             self.result_cache = ResultCache(result_cache_capacity)
-            database.subscribe_invalidation(self.result_cache.invalidate)
+        owns_scatter = scatter is None and isinstance(database, ShardedDatabase)
         if scatter is not None:
             self.scatter = scatter
         elif isinstance(database, ShardedDatabase):
-            # Per-shard partial results, invalidated fragment-by-fragment
+            # Per-shard partial results, maintained fragment-by-fragment
             # by the catalog's shard-tagged mutation events.
-            partial_cache = ResultCache(result_cache_capacity)
-            database.subscribe_invalidation(partial_cache.invalidate)
             self.scatter = ScatterGatherExecutor(
-                database, partial_cache, compiler=self.compiler
+                database, ResultCache(result_cache_capacity), compiler=self.compiler
             )
         else:
             self.scatter = None
+        # Mutation wiring.  Caches this service *owns* track the catalog:
+        # under "recompute" each mutation drops dependent entries; under
+        # "incremental" one ResultMaintainer patches both caches with
+        # semi-naive delta joins (falling back to drops per event).
+        # Externally owned caches (the Session path) are wired by the caller.
+        if owns_result_cache and maintenance == "incremental":
+            self.maintainer = ResultMaintainer(
+                database,
+                self.result_cache,
+                scatter=self.scatter if owns_scatter else None,
+                compiler=self.compiler,
+                mode="incremental",
+                clock=lambda: self._clock,
+            )
+            database.subscribe_invalidation(self.maintainer.on_mutation)
+        else:
+            if owns_result_cache:
+                database.subscribe_invalidation(self.result_cache.invalidate)
+            if owns_scatter:
+                database.subscribe_invalidation(
+                    self.scatter.partial_cache.invalidate
+                )
         # Fault injection: arm the scatter executor's attempt walk and the
         # process backend's crash trigger.  A pre-built executor (the
         # Session path) may arrive already armed; explicit knobs here win.
@@ -516,12 +552,15 @@ class QueryService:
         if not self.tracer.enabled:
             return self.database.insert_into(relation_name, rows)
         results_before = self.result_cache.stats.invalidations
+        patches_before = self.result_cache.stats.patches
         partial_cache = (
             self.scatter.partial_cache if self.scatter is not None else None
         )
         partials_before = partial_cache.stats.invalidations if partial_cache else 0
+        partial_patches_before = partial_cache.stats.patches if partial_cache else 0
         inserted = self.database.insert_into(relation_name, rows)
         partials_after = partial_cache.stats.invalidations if partial_cache else 0
+        partial_patches_after = partial_cache.stats.patches if partial_cache else 0
         self.tracer.emit(
             "catalog_mutation",
             self._clock,
@@ -531,6 +570,8 @@ class QueryService:
                 "invalidated_results": self.result_cache.stats.invalidations
                 - results_before,
                 "invalidated_partials": partials_after - partials_before,
+                "patched_results": self.result_cache.stats.patches - patches_before,
+                "patched_partials": partial_patches_after - partial_patches_before,
             },
         )
         return inserted
@@ -721,7 +762,12 @@ class QueryService:
             # EngineExecution.plan_used).
             plan_cache_hit = prepared.plan_cache_hit and execution.plan_used
             if execution.cacheable:
-                cache_entry = (prepared.signature, tuples, prepared.cache_dependencies)
+                cache_entry = (
+                    prepared.signature,
+                    tuples,
+                    prepared.cache_dependencies,
+                    request.query,
+                )
             if isinstance(execution.scatter, ScatterGatherStats):
                 scatter_stats = execution.scatter
         record = QueryRecord(
@@ -783,8 +829,8 @@ class QueryService:
         """
         self.admission.release()
         if completed.cache_entry is not None:
-            signature, tuples, relation_names = completed.cache_entry
-            self.result_cache.put_result(signature, tuples, relation_names)
+            signature, tuples, relation_names, query = completed.cache_entry
+            self.result_cache.put_result(signature, tuples, relation_names, query=query)
         if completed.partial_entries:
             self.scatter.publish_partials(completed.partial_entries)
         if (
@@ -825,7 +871,8 @@ class QueryService:
             (
                 f"result cache         : {result.hits}/{result.lookups} hits "
                 f"({result.hit_rate:.1%}), {result.evictions} evictions, "
-                f"{result.invalidations} invalidations"
+                f"{result.invalidations} invalidations "
+                f"({result.drops} drops, {result.patches} patches)"
             ),
             (
                 f"admission            : {admission.submitted} submitted, "

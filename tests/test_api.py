@@ -9,7 +9,6 @@ regression), and the ISSUE acceptance scenario.
 
 import pytest
 
-import repro.service.engines as service_engines
 from repro.api import (
     ENGINE_FACTORIES,
     EngineProtocol,
@@ -48,11 +47,11 @@ def fresh_session(api_db, **kwargs):
 # The single engine registry
 # --------------------------------------------------------------------------- #
 class TestRegistry:
-    def test_service_table_is_the_api_table(self):
-        # The old per-module engine tables are gone: the service shim and
-        # the API expose the *same* dict.
-        assert service_engines.BACKEND_FACTORIES is ENGINE_FACTORIES
-        assert service_engines.create_backend is create_engine
+    def test_service_engines_shim_is_gone(self):
+        # The deprecated alias module was removed; repro.api.engines is the
+        # one registry.
+        with pytest.raises(ModuleNotFoundError):
+            import repro.service.engines  # noqa: F401
 
     def test_cli_has_no_private_engine_table(self):
         import repro.cli as cli
@@ -87,8 +86,6 @@ class TestRegistry:
         register_engine("echo", EchoEngine)
         try:
             assert "echo" in engine_names()
-            # Visible through the deprecated service alias too.
-            assert "echo" in service_engines.BACKEND_FACTORIES
             service = QueryService(api_db, backends=("echo",), seed=1)
             outcome = service.serve(pattern_query("cycle3"))
             assert outcome.record.backend == "echo"

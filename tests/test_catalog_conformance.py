@@ -17,6 +17,7 @@ from repro.relational import (
     Catalog,
     ConjunctiveQuery,
     Database,
+    DeltaBatch,
     MutationEvent,
     Relation,
     Schema,
@@ -39,10 +40,8 @@ def edge_relation():
     return Relation("E", Schema(("src", "dst")), EDGES)
 
 
-@pytest.fixture(params=CATALOG_KINDS)
-def catalog(request, tmp_path):
-    """One freshly populated catalog per implementation under test."""
-    kind = request.param
+def make_catalog(kind, tmp_path):
+    """One freshly populated catalog of the requested implementation."""
     if kind == "database":
         instance = Database("conformance")
     elif kind == "sharded-hash":
@@ -56,6 +55,13 @@ def catalog(request, tmp_path):
             str(tmp_path / "store"), name="conformance", num_shards=2
         )
     instance.add_relation(edge_relation())
+    return instance
+
+
+@pytest.fixture(params=CATALOG_KINDS)
+def catalog(request, tmp_path):
+    """One freshly populated catalog per implementation under test."""
+    instance = make_catalog(request.param, tmp_path)
     yield instance
     close = getattr(instance, "close", None)
     if close is not None:
@@ -122,3 +128,74 @@ class TestCatalogConformance:
         catalog.insert_into("E", [(8, 9)])
         assert len(events) == 1
         assert not catalog.unsubscribe_invalidation(events.append)
+
+
+#: A mutation stream exercising every canonicalisation rule: duplicates
+#: against the stored relation, duplicates within the submitted batch,
+#: unordered rows, a batch that is entirely duplicate, and floats that
+#: normalise to ints.
+MUTATION_STREAM = (
+    [(7, 8), (1, 2), (6, 7)],
+    [(9.0, 9.0), (9, 9), (8, 0)],
+    [(2, 3), (3, 1)],
+    [(5, 4), (0, 0), (5, 4), (4, 5)],
+)
+
+
+class TestDeltaBatchConformance:
+    """Every catalog emits the same canonical delta batches for one stream.
+
+    Sharded catalogs fire one event per touched shard, so the *number* of
+    events may differ — but per mutation, the merged rows (sorted), the
+    summed counts and the exactness flag must be byte-identical across all
+    implementations, or incremental maintenance would patch differently
+    depending on which catalog backs the service.
+    """
+
+    def _observe(self, kind, tmp_path):
+        instance = make_catalog(kind, tmp_path / kind.replace("-", "_"))
+        try:
+            events = []
+            instance.subscribe_invalidation(events.append)
+            stream = []
+            for batch in MUTATION_STREAM:
+                events.clear()
+                inserted = instance.insert_into("E", batch)
+                assert all(isinstance(e.delta, DeltaBatch) for e in events)
+                assert all(e.delta.exact for e in events)
+                assert all(e.kind == "insert" and e.relation == "E" for e in events)
+                merged = tuple(sorted(row for e in events for row in e.delta.rows))
+                counts = sum(e.delta.count for e in events)
+                assert counts == inserted == len(merged)
+                stream.append((merged, counts))
+            return tuple(stream)
+        finally:
+            close = getattr(instance, "close", None)
+            if close is not None:
+                close()
+
+    def test_all_catalogs_emit_identical_delta_batches(self, tmp_path):
+        observed = {
+            kind: self._observe(kind, tmp_path) for kind in CATALOG_KINDS
+        }
+        reference = observed["database"]
+        assert any(count == 0 for _, count in reference)  # duplicate-only batch
+        assert any(count > 1 for _, count in reference)
+        for kind in CATALOG_KINDS:
+            assert observed[kind] == reference, kind
+
+    @pytest.mark.parametrize("kind", CATALOG_KINDS)
+    def test_define_events_are_inexact(self, kind, tmp_path):
+        instance = make_catalog(kind, tmp_path)
+        try:
+            events = []
+            instance.subscribe_invalidation(events.append)
+            instance.replace_relation(edge_relation())  # redefinition
+            assert events
+            assert all(e.kind == "define" for e in events)
+            assert all(not e.delta.exact for e in events if e.delta.count)
+            assert all(not e.patchable for e in events)
+        finally:
+            close = getattr(instance, "close", None)
+            if close is not None:
+                close()

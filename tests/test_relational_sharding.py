@@ -13,6 +13,7 @@ from repro.graphs import community_graph, graph_database, pattern_query
 from repro.relational import (
     Catalog,
     Database,
+    DeltaBatch,
     HashPartitioner,
     MutationEvent,
     RangePartitioner,
@@ -135,7 +136,10 @@ class TestShardedDatabase:
         base_db.subscribe_invalidation(events.append)
         inserted = base_db.insert_into("E", [(5001, 5002)])
         assert inserted == 1
-        assert events == [MutationEvent("E", shard=None, delta=1, kind="insert")]
+        expected = DeltaBatch.from_rows([(5001, 5002)])
+        assert events == [
+            MutationEvent("E", shard=None, delta=expected, kind="insert")
+        ]
 
     def test_unsubscribe_stops_events(self, base_db):
         sharded = shard_database(base_db, 2)

@@ -6,6 +6,7 @@ from repro.graphs import pattern_query
 from repro.joins import NaiveJoin, QueryCompiler
 from repro.joins.compiler import canonical_signature
 from repro.relational.query import Atom, ConjunctiveQuery
+from repro.api.engines import create_engine as create_backend
 from repro.service import (
     AdmissionController,
     LRUCache,
@@ -13,7 +14,6 @@ from repro.service import (
     ResultCache,
     WorkloadSpec,
     alpha_rename,
-    create_backend,
     generate_requests,
     run_workload,
     workload_database,

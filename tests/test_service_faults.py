@@ -577,7 +577,7 @@ class TestSessionFaultEquivalence:
         degraded = lossy.execute(query, engine)
         expected = [
             row
-            for shard, (_key, tuples, _deps) in enumerate(collected)
+            for shard, (_key, tuples, _deps, _query) in enumerate(collected)
             if shard != 2
             for row in tuples
         ]
